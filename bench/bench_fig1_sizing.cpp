@@ -1,0 +1,132 @@
+// Reproduces Figure 1: on a two-object microcase, the passive size estimator
+// recovers exact object sizes when transmissions are sequential (Case 1) and
+// fails when they are multiplexed (Case 2).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/boundary.hpp"
+#include "analysis/dom.hpp"
+#include "attack/monitor.hpp"
+#include "experiment/table_printer.hpp"
+#include "h2/client.hpp"
+#include "h2/server.hpp"
+#include "net/topology.hpp"
+#include "tcp/tcp_stack.hpp"
+#include "tls/session.hpp"
+#include "web/browser.hpp"
+#include "web/server_app.hpp"
+#include "web/website.hpp"
+
+using namespace h2sim;
+
+namespace {
+
+struct MicroResult {
+  std::vector<analysis::DetectedObject> detections;
+  double dom_o1 = 0, dom_o2 = 0;
+};
+
+MicroResult run_case(h2::SchedulerKind scheduler, sim::Duration request_gap) {
+  sim::EventLoop loop;
+  sim::Rng rng(7);
+
+  net::Path::Config pc;
+  pc.client_side.delay = sim::Duration::millis(2);
+  pc.server_side.delay = sim::Duration::millis(10);
+  net::Path path(loop, pc);
+
+  tcp::TcpConfig tcfg;
+  tcp::TcpStack server_stack(loop, rng.split(), net::Path::kServerNode, tcfg,
+                             [&](net::Packet&& p) { path.send_from_server(std::move(p)); });
+  tcp::TcpStack client_stack(loop, rng.split(), net::Path::kClientNode, tcfg,
+                             [&](net::Packet&& p) { path.send_from_client(std::move(p)); });
+  path.set_server_sink([&](net::Packet&& p) { server_stack.deliver(std::move(p)); });
+  path.set_client_sink([&](net::Packet&& p) { client_stack.deliver(std::move(p)); });
+
+  web::Website site = web::make_two_object_site(30000, 50000);
+  site.schedule[1].gap_from_prev = request_gap;
+  site.schedule[1].noise_lo = site.schedule[1].noise_hi = 1.0;
+  site.schedule[0].noise_lo = site.schedule[0].noise_hi = 1.0;
+
+  attack::TrafficMonitor monitor;
+  path.middlebox().set_tap([&](const net::Packet& p, net::Direction d, sim::TimePoint t) {
+    monitor.observe(p, d, t);
+  });
+
+  analysis::WireLog wire_log;
+  struct Srv {
+    std::unique_ptr<tls::TlsSession> tls;
+    std::unique_ptr<h2::ServerConnection> conn;
+    std::unique_ptr<web::ServerApp> app;
+  };
+  std::vector<std::unique_ptr<Srv>> srv;
+  h2::ConnectionConfig scfg;
+  scfg.scheduler = scheduler;
+  scfg.data_chunk_size = 1024;
+  web::ServerAppConfig app_cfg;
+  app_cfg.speed_factor_lo = app_cfg.speed_factor_hi = 1.0;
+
+  server_stack.listen(443, [&](tcp::TcpConnection& c) {
+    auto s = std::make_unique<Srv>();
+    s->tls = std::make_unique<tls::TlsSession>(c, tls::TlsSession::Role::kServer);
+    s->conn = std::make_unique<h2::ServerConnection>(loop, *s->tls, scfg, rng.split());
+    s->app = std::make_unique<web::ServerApp>(loop, site, *s->conn, rng.split(), app_cfg);
+    auto* app = s->app.get();
+    s->conn->set_frame_tap([app, &wire_log](const h2::Frame& f, sim::TimePoint t) {
+      analysis::ServerWireEvent ev;
+      ev.time = t;
+      ev.stream_id = f.stream_id;
+      ev.is_data = f.type == h2::FrameType::kData;
+      ev.data_bytes = ev.is_data ? f.payload.size() : 0;
+      ev.end_stream = ev.is_data && f.has_flag(h2::flags::kEndStream);
+      auto it = app->stream_objects().find(f.stream_id);
+      ev.object = it != app->stream_objects().end() ? it->second : "";
+      wire_log.add(std::move(ev));
+    });
+    srv.push_back(std::move(s));
+  });
+
+  tcp::TcpConnection& ct = client_stack.connect(net::Path::kServerNode, 443);
+  tls::TlsSession ctls(ct, tls::TlsSession::Role::kClient);
+  h2::ClientConnection cc(loop, ctls, h2::ConnectionConfig{}, rng.split());
+  web::Browser browser(loop, cc, site, {0, 1, 2, 3, 4, 5, 6, 7}, rng.split(), {});
+  browser.start();
+  loop.run(sim::TimePoint::origin() + sim::Duration::seconds(30));
+
+  MicroResult r;
+  r.detections = analysis::detect_objects(monitor.trace());
+  r.dom_o1 = analysis::object_dom(wire_log, "O1").primary_dom;
+  r.dom_o2 = analysis::object_dom(wire_log, "O2").primary_dom;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  experiment::TablePrinter table(
+      {"case", "DoM(O1)", "DoM(O2)", "size estimates (truth: 30000, 50000)"});
+
+  // Case 1: O2 requested after O1's transmission completes -> serialized.
+  MicroResult seq = run_case(h2::SchedulerKind::kRoundRobin, sim::Duration::millis(80));
+  // Case 2: back-to-back requests, multiplexing scheduler.
+  MicroResult mux = run_case(h2::SchedulerKind::kRoundRobin, sim::Duration::millis_f(0.5));
+
+  auto estimates = [](const MicroResult& r) {
+    std::string s;
+    for (const auto& d : r.detections) {
+      if (d.size_estimate < 2000) continue;  // skip handshake-era noise
+      s += std::to_string(d.size_estimate) + " ";
+    }
+    return s.empty() ? std::string("(none)") : s;
+  };
+  table.add_row({"1: sequential", experiment::TablePrinter::pct(seq.dom_o1 * 100, 0),
+                 experiment::TablePrinter::pct(seq.dom_o2 * 100, 0), estimates(seq)});
+  table.add_row({"2: multiplexed", experiment::TablePrinter::pct(mux.dom_o1 * 100, 0),
+                 experiment::TablePrinter::pct(mux.dom_o2 * 100, 0), estimates(mux)});
+  table.print("Figure 1: object size estimation, sequential vs multiplexed");
+
+  std::printf("\npaper: in Case 1 the delimiter packets expose both sizes; in\n"
+              "Case 2 the interleaving makes the per-object sums meaningless.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 5: with 50 ms request spacing active, sweep the
+// gateway's bandwidth limit over 1000/800/500/100/1 Mbps and measure
+//  (a) wire retransmissions (paper: monotonically decreasing — solid line),
+//  (b) share of downloads with the object of interest non-multiplexed
+//      (paper: rises until 800 Mbps, then declines — dashed line), split
+//      into successes via the actual object vs a retransmitted copy (the
+//      paper's §IV-C observation).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace h2sim;
+  using experiment::TablePrinter;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+
+  // The paper's sweep plus one point past its 1 Mbps floor ("it was not
+  // possible to reduce the bandwidth beyond 1 Mbps — broken connection").
+  const double mbps[] = {1000, 800, 500, 100, 1, 0.5};
+
+  TablePrinter table({"bandwidth", "retransmissions (mean)", "not muxed (any copy)",
+                      "via actual object", "via retransmitted copy", "broken"});
+  for (const double bw : mbps) {
+    std::vector<double> retrans;
+    std::vector<bool> nomux_any, nomux_primary, nomux_copy_only;
+    int broken = 0;
+    for (int t = 0; t < trials; ++t) {
+      experiment::TrialConfig cfg;
+      cfg.seed = 50000 + static_cast<std::uint64_t>(t);
+      cfg.attack = experiment::jitter_throttle_config(sim::Duration::millis(50),
+                                                      bw * 1e6);
+      // The paper's storm-prone controller: retransmitted copies are part of
+      // the Figure 5 story.
+      cfg.attack.suppress_request_retransmissions = false;
+      const auto r = experiment::run_trial(cfg);
+      if (!r.page_complete) {
+        ++broken;
+        continue;
+      }
+      retrans.push_back(static_cast<double>(r.wire_retransmissions()));
+      const auto& html = r.interest[0];
+      nomux_any.push_back(html.any_copy_serialized);
+      nomux_primary.push_back(html.primary_serialized);
+      nomux_copy_only.push_back(html.any_copy_serialized && !html.primary_serialized);
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%g Mbps", bw);
+    table.add_row({label, TablePrinter::fmt(analysis::mean(retrans), 1),
+                   TablePrinter::pct(analysis::percent_true(nomux_any), 0),
+                   TablePrinter::pct(analysis::percent_true(nomux_primary), 0),
+                   TablePrinter::pct(analysis::percent_true(nomux_copy_only), 0),
+                   std::to_string(broken)});
+  }
+  table.print("Figure 5: effect of bandwidth limitation (jitter 50 ms, " +
+              std::to_string(trials) + " downloads per point)");
+  std::printf("\npaper shape: retransmissions fall monotonically as bandwidth\n"
+              "drops; success peaks at 800 Mbps and declines at lower rates,\n"
+              "with the high-bandwidth successes partly due to retransmitted\n"
+              "copies rather than the actual object.\n");
+  return 0;
+}

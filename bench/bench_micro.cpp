@@ -1,0 +1,129 @@
+// Substrate microbenchmarks (google-benchmark): HPACK codec, Huffman coding,
+// HTTP/2 frame codec, TLS record protection, and raw simulator event
+// throughput. These quantify the cost of the building blocks the
+// reproduction's Monte-Carlo trials lean on.
+
+#include <benchmark/benchmark.h>
+
+#include "h2/frame.hpp"
+#include "hpack/decoder.hpp"
+#include "hpack/encoder.hpp"
+#include "hpack/huffman.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+#include "tls/record.hpp"
+
+namespace {
+
+using namespace h2sim;
+
+hpack::HeaderList request_headers() {
+  return {
+      {":method", "GET"},
+      {":scheme", "https"},
+      {":authority", "www.isidewith.com"},
+      {":path", "/img/party_3.png"},
+      {"user-agent", "Mozilla/5.0 (X11; Linux x86_64; rv:74.0) Gecko Firefox/74.0"},
+      {"accept", "text/html,application/xhtml+xml,*/*;q=0.8"},
+      {"cookie", "sessionid=a1b2c3d4e5f6a7b8"},
+  };
+}
+
+void BM_HpackEncode(benchmark::State& state) {
+  hpack::Encoder enc;
+  const auto headers = request_headers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(headers));
+  }
+}
+BENCHMARK(BM_HpackEncode);
+
+void BM_HpackRoundTrip(benchmark::State& state) {
+  hpack::Encoder enc;
+  hpack::Decoder dec;
+  const auto headers = request_headers();
+  for (auto _ : state) {
+    const auto block = enc.encode(headers);
+    benchmark::DoNotOptimize(dec.decode(block));
+  }
+}
+BENCHMARK(BM_HpackRoundTrip);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const std::string input = "www.isidewith.com/results/2020-presidential-quiz";
+  for (auto _ : state) {
+    std::string out;
+    hpack::huffman::encode(input, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const std::string input = "www.isidewith.com/results/2020-presidential-quiz";
+  std::string enc;
+  hpack::huffman::encode(input, enc);
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(enc.data()), enc.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hpack::huffman::decode(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * enc.size()));
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  h2::Frame f;
+  f.type = h2::FrameType::kData;
+  f.stream_id = 5;
+  f.payload.assign(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    const auto wire = h2::serialize_frame(f);
+    h2::FrameDecoder dec;
+    dec.feed(wire);
+    benchmark::DoNotOptimize(dec.next());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameRoundTrip)->Arg(1024)->Arg(16384);
+
+void BM_RecordParse(benchmark::State& state) {
+  std::vector<std::uint8_t> body(static_cast<std::size_t>(state.range(0)), 0x42);
+  tls::RecordHeader h;
+  h.length = static_cast<std::uint16_t>(body.size());
+  const auto wire = tls::serialize_record(h, body);
+  for (auto _ : state) {
+    tls::RecordParser p;
+    p.feed(wire);
+    benchmark::DoNotOptimize(p.next());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecordParse)->Arg(1049);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_after(sim::Duration::micros(i), [&fired] { ++fired; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopThroughput);
+
+void BM_RngU64(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

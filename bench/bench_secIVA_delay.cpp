@@ -1,0 +1,47 @@
+// Reproduces Section IV-A (negative result): adding a *uniform* delay to
+// every packet on the client->server path shifts all request arrivals by the
+// same amount but cannot increase their inter-arrival spacing, so the degree
+// of multiplexing is unchanged. (Jitter — unequal delays — is what works.)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace h2sim;
+  using experiment::TablePrinter;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  TablePrinter table({"uniform extra delay", "html DoM (mean)",
+                      "html not multiplexed", "page load time (mean)"});
+  for (const int delay_ms : {0, 10, 25, 50, 100}) {
+    std::vector<double> dom, load;
+    std::vector<bool> nomux;
+    for (int t = 0; t < trials; ++t) {
+      experiment::TrialConfig cfg;
+      cfg.seed = 70000 + static_cast<std::uint64_t>(t);
+      cfg.attack.enabled = false;
+      // Uniform delay on the client-side links (both directions).
+      cfg.path.client_side.delay =
+          sim::Duration::millis(2) + sim::Duration::millis(delay_ms);
+      const auto r = experiment::run_trial(cfg);
+      if (!r.page_complete) continue;
+      dom.push_back(r.interest[0].primary_dom * 100);
+      nomux.push_back(r.interest[0].primary_serialized);
+      load.push_back(r.page_load_seconds);
+    }
+    table.add_row({std::to_string(delay_ms) + " ms",
+                   TablePrinter::pct(analysis::mean(dom), 1),
+                   TablePrinter::pct(analysis::percent_true(nomux), 0),
+                   TablePrinter::fmt(analysis::mean(load), 2) + " s"});
+  }
+  table.print("Section IV-A: uniform delay does not affect multiplexing (" +
+              std::to_string(trials) + " downloads per row)");
+  std::printf("\npaper: uniform delay cannot increase inter-arrival spacing at\n"
+              "the server, so it is useless to the adversary.\n");
+  return 0;
+}

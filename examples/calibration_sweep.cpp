@@ -1,0 +1,67 @@
+// Maintainer tool: the baseline calibration grid. The paper's Section-IV
+// baseline (32 % of downloads leave the HTML non-multiplexed) emerges from
+// the interplay of server pacing and the user's think-time spread; this
+// sweep shows how the calibrated operating point sits in that space, so
+// substrate changes can be re-tuned quickly.
+//
+// Usage: calibration_sweep [trials-per-cell]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace h2sim;
+  using experiment::TablePrinter;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 25;
+
+  TablePrinter table({"static chunk interval", "speed-factor spread",
+                      "html not muxed", "html DoM (mean)", "emblem DoM (mean)",
+                      "page load (mean)"});
+
+  const double intervals_us[] = {250, 400, 650};
+  const std::pair<double, double> spreads[] = {{0.9, 1.1}, {0.55, 1.45}, {0.3, 1.8}};
+
+  for (const double us : intervals_us) {
+    for (const auto& [lo, hi] : spreads) {
+      std::vector<bool> nomux;
+      std::vector<double> html_dom, emblem_dom, load;
+      for (int t = 0; t < trials; ++t) {
+        experiment::TrialConfig cfg;
+        cfg.seed = 61000 + static_cast<std::uint64_t>(t);
+        cfg.attack.enabled = false;
+        cfg.server_app.static_chunk_interval =
+            sim::Duration::nanos(static_cast<std::int64_t>(us * 1000));
+        cfg.server_app.speed_factor_lo = lo;
+        cfg.server_app.speed_factor_hi = hi;
+        const auto r = experiment::run_trial(cfg);
+        if (!r.page_complete) continue;
+        nomux.push_back(r.interest[0].primary_serialized);
+        html_dom.push_back(r.interest[0].primary_dom * 100);
+        double ed = 0;
+        for (int j = 1; j <= 8; ++j) {
+          ed += r.interest[static_cast<std::size_t>(j)].primary_dom * 100;
+        }
+        emblem_dom.push_back(ed / 8);
+        load.push_back(r.page_load_seconds);
+      }
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%.0f us", us);
+      char spread[32];
+      std::snprintf(spread, sizeof(spread), "[%.2f, %.2f]", lo, hi);
+      table.add_row({cell, spread,
+                     TablePrinter::pct(analysis::percent_true(nomux), 0),
+                     TablePrinter::pct(analysis::mean(html_dom), 1),
+                     TablePrinter::pct(analysis::mean(emblem_dom), 1),
+                     TablePrinter::fmt(analysis::mean(load), 2) + " s"});
+    }
+  }
+  table.print("Baseline calibration grid (paper targets: 32% not muxed; emblem DoM 80-99%)");
+  std::printf("\nshipping operating point: 400 us chunks, speed spread [0.55, 1.45].\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Explores the paper's §VII defense direction: "the client can opt for a
+// different priority/order of object delivery every time, thereby confusing
+// the adversary". The browser randomizes which object is requested at each
+// embedded-request slot; the adversary still serializes transmissions, and
+// still recovers sizes — but the *order* no longer reveals the ranking.
+//
+// Usage: defense_randomized_priority [trials]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace h2sim;
+  using experiment::TablePrinter;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  TablePrinter table({"client behaviour", "positions recovered (mean of 8)",
+                      "emblem sizes identified (mean of 8)", "pages completed"});
+
+  for (const bool randomized : {false, true}) {
+    std::vector<double> positions, sizes;
+    int completed = 0;
+    for (int t = 0; t < trials; ++t) {
+      experiment::TrialConfig cfg;
+      cfg.seed = 64000 + static_cast<std::uint64_t>(t);
+      cfg.attack = experiment::full_attack_config();
+      cfg.browser.randomize_embedded_order = randomized;
+      const auto r = experiment::run_trial(cfg);
+      if (!r.page_complete) continue;
+      ++completed;
+      int pos = 0, sz = 0;
+      for (int j = 1; j <= 8; ++j) {
+        if (r.success[static_cast<std::size_t>(j)]) ++pos;
+        if (r.interest[static_cast<std::size_t>(j)].size_identified) ++sz;
+      }
+      positions.push_back(pos);
+      sizes.push_back(sz);
+    }
+    table.add_row({randomized ? "randomized request order (defense)"
+                              : "deterministic order (default)",
+                   TablePrinter::fmt(analysis::mean(positions), 1) + " / 8",
+                   TablePrinter::fmt(analysis::mean(sizes), 1) + " / 8",
+                   std::to_string(completed) + "/" + std::to_string(trials)});
+  }
+  table.print("§VII defense: randomized request order vs the full attack (" +
+              std::to_string(trials) + " downloads each)");
+
+  std::printf(
+      "\nThe defense decouples transmission order from the ranking: the\n"
+      "adversary still learns WHICH emblems were fetched (sizes leak), but\n"
+      "not the user's ordering. Against this site that still leaks the\n"
+      "result set — order randomization helps only when the order itself is\n"
+      "the secret, exactly the caveat the paper's future-work section\n"
+      "implies.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// A purely passive eavesdropper (the HTTP/1.x-era attacker): no packet
+// manipulation, only TLS record observation at the gateway. Compares three
+// server deployments:
+//   1. HTTP/2 with multiplexing (the privacy claim the paper attacks),
+//   2. HTTP/2 with multiplexing disabled (most real deployments, Section V),
+//   3. the same with a single-threaded (serial) worker model.
+//
+// Usage: passive_eavesdropper [trials]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace h2sim;
+  using experiment::TablePrinter;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  struct Mode {
+    const char* name;
+    h2::SchedulerKind scheduler;
+    bool serial_workers;
+  };
+  const Mode modes[] = {
+      {"HTTP/2, multiplexing on", h2::SchedulerKind::kRoundRobin, false},
+      {"HTTP/2, sequential frames", h2::SchedulerKind::kSequential, false},
+      {"HTTP/2, single-threaded app", h2::SchedulerKind::kSequential, true},
+  };
+
+  TablePrinter table({"server deployment", "emblems identified (mean of 8)",
+                      "HTML identified", "emblem DoM (mean)"});
+  for (const Mode& mode : modes) {
+    std::vector<double> identified, dom;
+    std::vector<bool> html_found;
+    for (int t = 0; t < trials; ++t) {
+      experiment::TrialConfig cfg;
+      cfg.seed = 31000 + static_cast<std::uint64_t>(t);
+      cfg.attack.enabled = false;  // passive: observation only
+      cfg.server_h2.scheduler = mode.scheduler;
+      cfg.server_app.serial_workers = mode.serial_workers;
+      const auto r = experiment::run_trial(cfg);
+      if (!r.page_complete) continue;
+      int found = 0;
+      double dsum = 0;
+      for (int j = 1; j <= 8; ++j) {
+        const auto& o = r.interest[static_cast<std::size_t>(j)];
+        if (o.size_identified) ++found;
+        dsum += o.primary_dom;
+      }
+      identified.push_back(found);
+      dom.push_back(dsum / 8 * 100);
+      html_found.push_back(r.interest[0].size_identified);
+    }
+    table.add_row({mode.name,
+                   TablePrinter::fmt(analysis::mean(identified), 1) + " / 8",
+                   TablePrinter::pct(analysis::percent_true(html_found), 0),
+                   TablePrinter::pct(analysis::mean(dom), 1)});
+  }
+  table.print("Passive eavesdropper vs server deployment (" +
+              std::to_string(trials) + " downloads each)");
+
+  std::printf(
+      "\nMultiplexing starves the passive attacker; the common\n"
+      "multiplexing-disabled deployments hand over nearly everything. This is\n"
+      "why the paper calls HTTP/2 multiplexing an undependable privacy\n"
+      "mechanism: it takes only a modest on-path adversary (see the\n"
+      "serialization_attack example) to switch a site from column 1 to row 3\n"
+      "behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Quickstart: load the isidewith-like page over simulated HTTPS + HTTP/2,
+// print the degree of multiplexing of every object of interest and what a
+// passive adversary's boundary detector can (not) recover.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace h2sim;
+
+  experiment::TrialConfig cfg;
+  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  cfg.attack.enabled = false;  // plain page load, no adversary
+
+  std::printf("Loading www.isidewith.com result page (seed %llu)...\n",
+              static_cast<unsigned long long>(cfg.seed));
+  const experiment::TrialResult r = experiment::run_trial(cfg);
+
+  std::printf("page complete: %s   load time: %.2fs   TLS records observed: %zu\n",
+              r.page_complete ? "yes" : "no", r.page_load_seconds,
+              r.records_observed);
+  std::printf("TCP retransmissions: %llu   browser reissues: %d\n",
+              static_cast<unsigned long long>(r.tcp_retransmits),
+              r.browser_reissues);
+
+  experiment::TablePrinter table(
+      {"object", "DoM (primary copy)", "copies", "delivered", "size recovered"});
+  for (const auto& o : r.interest) {
+    table.add_row({o.label, experiment::TablePrinter::pct(o.primary_dom * 100, 1),
+                   std::to_string(o.copies), o.delivered ? "yes" : "no",
+                   o.size_identified ? "yes" : "no"});
+  }
+  table.print("Objects of interest under multiplexed HTTP/2 (no adversary)");
+
+  std::printf(
+      "\nWith multiplexing on, the passive detector recovers almost nothing —\n"
+      "this is the privacy claim the paper attacks. Run the\n"
+      "serialization_attack example to see the adversary break it.\n");
+  return 0;
+}

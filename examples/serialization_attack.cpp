@@ -1,0 +1,68 @@
+// The paper's full Section-V attack, narrated: jitter to space requests,
+// count GETs at the gateway, disrupt at the 6th GET (throttle + targeted
+// drops) to force the client's RST_STREAM, then serialize the re-requested
+// HTML and the 8-image burst with 80 ms spacing — and read the user's party
+// ranking out of the encrypted trace.
+//
+// Usage: serialization_attack [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace h2sim;
+  experiment::TrialConfig cfg;
+  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2020;
+  cfg.attack = experiment::full_attack_config();
+
+  std::printf("Victim loads www.isidewith.com survey results (seed %llu).\n"
+              "Adversary at the gateway: jitter %.0f ms -> trigger at GET #%d ->\n"
+              "throttle %.0f Mbps + drop %.0f%% for %.0fs -> spacing %.0f ms.\n\n",
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.attack.jitter_phase1.to_millis(), cfg.attack.trigger_get_index,
+              cfg.attack.throttle_bps / 1e6, cfg.attack.drop_rate * 100,
+              cfg.attack.drop_duration.to_seconds(),
+              cfg.attack.jitter_phase2.to_millis());
+
+  const experiment::TrialResult r = experiment::run_trial(cfg);
+
+  if (!r.page_complete) {
+    std::printf("page load FAILED (%s) — the adversary overreached; rerun with\n"
+                "another seed or a gentler drop rate.\n", r.failure_reason.c_str());
+    return 1;
+  }
+
+  std::printf("page completed in %.1fs; %d reset sweep(s), %llu packets dropped,\n"
+              "%llu requests spaced, %d GETs counted at the gateway.\n\n",
+              r.page_load_seconds, r.reset_sweeps,
+              static_cast<unsigned long long>(r.adversary_drops),
+              static_cast<unsigned long long>(r.requests_spaced), r.gets_counted);
+
+  experiment::TablePrinter table(
+      {"position", "truth (user's ranking)", "adversary's prediction", "correct"});
+  table.add_row({"result HTML", "-", r.success[0] ? "size recovered" : "missed",
+                 r.success[0] ? "yes" : "no"});
+  for (int j = 0; j < 8; ++j) {
+    const std::string truth = "party" + std::to_string(r.truth[static_cast<std::size_t>(j)]);
+    const std::string pred =
+        static_cast<std::size_t>(j) < r.predicted.size()
+            ? r.predicted[static_cast<std::size_t>(j)]
+            : "(none)";
+    table.add_row({"I" + std::to_string(j + 1), truth, pred,
+                   r.success[static_cast<std::size_t>(j) + 1] ? "yes" : "no"});
+  }
+  table.print("Attack result: the user's political ranking from encrypted traffic");
+
+  int correct = 0;
+  for (int i = 1; i <= 8; ++i) {
+    if (r.success[static_cast<std::size_t>(i)]) ++correct;
+  }
+  std::printf("\nRecovered %d/8 ranking positions plus %s the result page —\n"
+              "from nothing but TLS record sizes, timing, and a few dropped\n"
+              "packets.\n", correct, r.success[0] ? "identified" : "missed");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/trace.hpp"
+
+namespace h2sim::analysis {
+
+/// The attacker's object-size estimator (Figure 1 generalized from packets
+/// to TLS records): within the server->client application-data record
+/// stream, body records share a "full" size (one scheduler quantum per
+/// record); a record smaller than full delimits the end of an object's
+/// serialized transmission. Time gaps longer than `idle_gap` also delimit.
+struct BoundaryConfig {
+  /// Records with body below this are control chatter (WINDOW_UPDATE,
+  /// SETTINGS acks, ~29-35 bytes) or response HEADERS (~28-60 bytes), not
+  /// body bytes. Object tail records are larger than this for any realistic
+  /// chunking.
+  std::size_t min_body_record = 64;
+  /// Per-record protocol overhead subtracted from each record when summing
+  /// object bytes: 9 (frame header) + 16 (AEAD tag).
+  std::size_t per_record_overhead = 25;
+  /// A silence longer than this ends the current object segment.
+  sim::Duration idle_gap = sim::Duration::millis(120);
+  /// Tolerance when deciding a record is "smaller than full".
+  std::size_t full_size_slack = 32;
+};
+
+struct DetectedObject {
+  std::size_t size_estimate = 0;  // plaintext byte estimate
+  std::size_t records = 0;
+  sim::TimePoint start;
+  sim::TimePoint end;
+  bool ended_by_delimiter = false;  // vs idle gap / end of trace
+};
+
+/// Splits the server->client record stream into object transmissions.
+/// Only meaningful where transmissions are serialized — on multiplexed
+/// segments it produces garbage sizes, which is precisely the paper's
+/// premise (Case 2 of Figure 1).
+std::vector<DetectedObject> detect_objects(const PacketTrace& trace,
+                                           const BoundaryConfig& cfg = {});
+
+}  // namespace h2sim::analysis

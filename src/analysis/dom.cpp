@@ -1,0 +1,72 @@
+#include "analysis/dom.hpp"
+
+#include <algorithm>
+
+namespace h2sim::analysis {
+
+DomResult degree_of_multiplexing(const WireLog& log, std::uint32_t stream_id) {
+  DomResult r;
+  std::size_t current_run = 0;
+  bool in_run = false;
+
+  for (const auto& ev : log.events()) {
+    if (!ev.is_data || ev.data_bytes == 0) continue;  // control frames ignored
+    if (ev.stream_id == stream_id) {
+      r.total_bytes += ev.data_bytes;
+      current_run += ev.data_bytes;
+      in_run = true;
+      if (ev.end_stream) r.complete = true;
+      r.largest_run_bytes = std::max(r.largest_run_bytes, current_run);
+      if (current_run == ev.data_bytes) ++r.runs;  // run just started
+    } else if (in_run) {
+      // A foreign data frame breaks the run.
+      current_run = 0;
+      in_run = false;
+    }
+  }
+
+  if (r.total_bytes == 0) {
+    r.dom = 0.0;
+    return r;
+  }
+  r.dom = r.runs <= 1
+              ? 0.0
+              : 1.0 - static_cast<double>(r.largest_run_bytes) /
+                          static_cast<double>(r.total_bytes);
+  return r;
+}
+
+std::map<std::uint32_t, DomResult> degree_of_multiplexing_all(const WireLog& log) {
+  std::map<std::uint32_t, DomResult> out;
+  for (const auto& ev : log.events()) {
+    if (ev.is_data && ev.data_bytes > 0) out[ev.stream_id] = DomResult{};
+  }
+  for (auto& [sid, r] : out) r = degree_of_multiplexing(log, sid);
+  return out;
+}
+
+ObjectDom object_dom(const WireLog& log, const std::string& object) {
+  ObjectDom o;
+  o.object = object;
+  o.copies = log.streams_for(object);
+  bool first = true;
+  for (const std::uint32_t sid : o.copies) {
+    const DomResult r = degree_of_multiplexing(log, sid);
+    if (r.total_bytes == 0) continue;
+    if (first) {
+      o.primary_dom = r.dom;
+      o.primary_serialized = r.dom == 0.0 && r.complete;
+      first = false;
+    }
+    if (r.dom < o.min_dom) o.min_dom = r.dom;
+    if (r.dom == 0.0 && r.complete) o.any_copy_serialized = true;
+  }
+  if (first) {
+    // No data transmitted for this object at all.
+    o.primary_dom = 1.0;
+    o.min_dom = 1.0;
+  }
+  return o;
+}
+
+}  // namespace h2sim::analysis

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hpp"
+
+namespace h2sim::analysis {
+
+/// Degree of multiplexing (Section II-A of the paper): the fraction of an
+/// object's bytes interleaved with another object's bytes within the TCP
+/// stream. Operationalized (see DESIGN.md §5) as
+///   DoM = 1 - largest_contiguous_run_bytes / total_bytes
+/// over the ordered sequence of DATA events, and exactly 0 when the object
+/// occupies a single contiguous run (the adversary can then delimit it).
+///
+/// Computed per transmission copy (stream id), since client reissues create
+/// multiple copies of the same object.
+struct DomResult {
+  double dom = 0.0;
+  std::size_t total_bytes = 0;
+  std::size_t largest_run_bytes = 0;
+  std::size_t runs = 0;
+  bool complete = false;  // saw END_STREAM for this copy
+};
+
+/// DoM of one stream's transmission within the full server wire log.
+DomResult degree_of_multiplexing(const WireLog& log, std::uint32_t stream_id);
+
+/// DoM for every stream carrying DATA in the log.
+std::map<std::uint32_t, DomResult> degree_of_multiplexing_all(const WireLog& log);
+
+/// Convenience: per-object summary across copies.
+struct ObjectDom {
+  std::string object;
+  std::vector<std::uint32_t> copies;
+  double min_dom = 1.0;       // best (least multiplexed) copy
+  double primary_dom = 1.0;   // the first (original) copy
+  bool any_copy_serialized = false;     // min_dom == 0 with completeness
+  bool primary_serialized = false;
+};
+ObjectDom object_dom(const WireLog& log, const std::string& object);
+
+}  // namespace h2sim::analysis

@@ -1,0 +1,86 @@
+#include "analysis/partial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2sim::analysis {
+namespace {
+
+struct Entry {
+  std::string label;
+  std::size_t size;
+};
+
+/// Depth-first subset search minimizing the residual; entries sorted
+/// descending lets the lower-bound prune kick in early.
+void search(const std::vector<Entry>& entries, std::size_t start, long long remaining,
+            int depth, int max_depth, double tolerance_abs,
+            std::vector<std::size_t>& current, double& best_residual,
+            std::vector<std::size_t>& best) {
+  const double residual = std::abs(static_cast<double>(remaining));
+  if (!current.empty() && residual <= tolerance_abs && residual < best_residual) {
+    best_residual = residual;
+    best = current;
+  }
+  if (depth == max_depth || start >= entries.size()) return;
+  if (remaining <= 0) return;  // only positive contributions available
+
+  for (std::size_t i = start; i < entries.size(); ++i) {
+    const auto size = static_cast<long long>(entries[i].size);
+    // Prune: even this (largest remaining) entry overshoots beyond repair.
+    if (size > remaining + static_cast<long long>(tolerance_abs)) continue;
+    current.push_back(i);
+    search(entries, i + 1, remaining - size, depth + 1, max_depth, tolerance_abs,
+           current, best_residual, best);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::optional<RegionExplanation> explain_region(std::size_t region_bytes,
+                                                const SizeIdentityDb& catalogue,
+                                                const PartialConfig& cfg) {
+  if (region_bytes == 0) return std::nullopt;
+  std::vector<Entry> entries;
+  for (const auto& e : catalogue.entries()) entries.push_back({e.label, e.size});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.size > b.size; });
+
+  const double tolerance_abs = cfg.tolerance * static_cast<double>(region_bytes);
+  std::vector<std::size_t> current, best;
+  double best_residual = tolerance_abs + 1;
+  search(entries, 0, static_cast<long long>(region_bytes), 0, cfg.max_subset,
+         tolerance_abs, current, best_residual, best);
+  if (best.empty()) return std::nullopt;
+
+  RegionExplanation out;
+  for (const std::size_t i : best) out.labels.push_back(entries[i].label);
+  out.residual_rel = best_residual / static_cast<double>(region_bytes);
+  return out;
+}
+
+PartialInference infer_objects_partial(const std::vector<DetectedObject>& detections,
+                                       const SizeIdentityDb& catalogue,
+                                       const PartialConfig& cfg) {
+  PartialInference out;
+  for (const auto& d : detections) {
+    // Direct identification first (the serialized case).
+    if (const auto m = catalogue.identify(d.size_estimate)) {
+      out.labels.push_back(m->label);
+      ++out.direct_matches;
+      continue;
+    }
+    // Multiplexed region: subset-sum over the catalogue.
+    const auto expl = explain_region(d.size_estimate, catalogue, cfg);
+    if (expl && expl->labels.size() > 1) {
+      for (const auto& l : expl->labels) out.labels.push_back(l);
+      out.subset_matches += static_cast<int>(expl->labels.size());
+    } else {
+      ++out.unexplained_regions;
+    }
+  }
+  return out;
+}
+
+}  // namespace h2sim::analysis

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/boundary.hpp"
+#include "analysis/predictor.hpp"
+
+namespace h2sim::analysis {
+
+/// Partial-multiplexing inference — the paper's §VII extension: "infer the
+/// object identity even when the object is partly multiplexed". A
+/// multiplexed region's record sizes are useless individually, but its byte
+/// TOTAL must still be a sum of whole objects (transmissions rarely straddle
+/// region boundaries once idle gaps and delimiters are respected). We
+/// therefore explain each unidentified region as a subset of the known size
+/// catalogue.
+struct PartialConfig {
+  /// Relative tolerance on the region total.
+  double tolerance = 0.02;
+  /// Largest subset size attempted (the search is exponential in this).
+  int max_subset = 4;
+};
+
+struct RegionExplanation {
+  std::vector<std::string> labels;  // objects whose sizes sum to the region
+  double residual_rel = 0.0;        // |sum - region| / region
+};
+
+/// Finds the subset of catalogue sizes best explaining `region_bytes`.
+/// Returns nullopt when nothing fits within tolerance.
+std::optional<RegionExplanation> explain_region(std::size_t region_bytes,
+                                                const SizeIdentityDb& catalogue,
+                                                const PartialConfig& cfg = {});
+
+/// Full-trace inference: every detection is identified directly when
+/// possible, otherwise attacked with subset-sum. Returns the recovered
+/// object labels in transmission order (subset members of one region share
+/// a position, ordered as found).
+struct PartialInference {
+  std::vector<std::string> labels;
+  int direct_matches = 0;
+  int subset_matches = 0;      // labels recovered only via subset-sum
+  int unexplained_regions = 0;
+};
+
+PartialInference infer_objects_partial(const std::vector<DetectedObject>& detections,
+                                       const SizeIdentityDb& catalogue,
+                                       const PartialConfig& cfg = {});
+
+}  // namespace h2sim::analysis

@@ -1,0 +1,67 @@
+#include "analysis/predictor.hpp"
+
+#include <cmath>
+
+namespace h2sim::analysis {
+
+void SizeIdentityDb::add(std::string label, std::size_t size) {
+  entries_.push_back(Match{std::move(label), size, 0.0});
+}
+
+std::optional<SizeIdentityDb::Match> SizeIdentityDb::identify(
+    std::size_t size_estimate) const {
+  std::optional<Match> best;
+  for (const auto& e : entries_) {
+    const double rel = std::abs(static_cast<double>(size_estimate) -
+                                static_cast<double>(e.size)) /
+                       static_cast<double>(e.size);
+    if (rel <= tolerance_ && (!best || rel < best->rel_error)) {
+      best = Match{e.label, e.size, rel};
+    }
+  }
+  return best;
+}
+
+SequencePrediction predict_sequence(const std::vector<DetectedObject>& detections,
+                                    const SizeIdentityDb& emblems,
+                                    std::size_t expected) {
+  SequencePrediction out;
+
+  // Collect emblem-sized matches in transmission order (duplicates kept:
+  // retransmitted copies and coincidental junk both occur).
+  std::vector<std::string> matches;
+  for (const auto& d : detections) {
+    const auto m = emblems.identify(d.size_estimate);
+    if (m) {
+      matches.push_back(m->label);
+    } else if (d.ended_by_delimiter) {
+      out.unmatched.push_back(d.size_estimate);
+    }
+  }
+
+  // The adversary knows the emblems arrive as one consecutive burst
+  // (assumption (5) of Section III), so the ranking is the longest run of
+  // pairwise-distinct matches; ties prefer the latest run (junk from the
+  // disrupt phase precedes the burst).
+  std::size_t best_begin = 0, best_len = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    for (std::size_t j = begin; j < i; ++j) {
+      if (matches[j] == matches[i]) {
+        begin = j + 1;
+        break;
+      }
+    }
+    const std::size_t len = i - begin + 1;
+    if (len >= best_len) {
+      best_len = len;
+      best_begin = begin;
+    }
+  }
+  const std::size_t take = std::min(best_len, expected);
+  out.ranking.assign(matches.begin() + static_cast<std::ptrdiff_t>(best_begin),
+                     matches.begin() + static_cast<std::ptrdiff_t>(best_begin + take));
+  return out;
+}
+
+}  // namespace h2sim::analysis

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/boundary.hpp"
+
+namespace h2sim::analysis {
+
+/// The adversary's "pre-compiled list of image size to political party
+/// mapping" (Section V): object label -> exact plaintext size.
+class SizeIdentityDb {
+ public:
+  void add(std::string label, std::size_t size);
+
+  /// Nearest entry within relative tolerance; nullopt when nothing matches.
+  struct Match {
+    std::string label;
+    std::size_t size;
+    double rel_error;
+  };
+  std::optional<Match> identify(std::size_t size_estimate) const;
+
+  double tolerance() const { return tolerance_; }
+  void set_tolerance(double t) { tolerance_ = t; }
+
+  const std::vector<Match>& entries() const { return entries_; }
+
+ private:
+  std::vector<Match> entries_;  // rel_error unused in storage
+  double tolerance_ = 0.02;
+};
+
+/// Predicts the user's party ranking from detected object transmissions:
+/// emblem-sized detections, in transmission order, are the ranking. Returns
+/// one predicted label per detected emblem (possibly with gaps).
+struct SequencePrediction {
+  /// Predicted party label for ranking positions 0..7 ("" = no prediction).
+  std::vector<std::string> ranking;
+  /// Detected-but-unmatched sizes (diagnostics).
+  std::vector<std::size_t> unmatched;
+};
+
+SequencePrediction predict_sequence(const std::vector<DetectedObject>& detections,
+                                    const SizeIdentityDb& emblems,
+                                    std::size_t expected = 8);
+
+}  // namespace h2sim::analysis

@@ -1,0 +1,44 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2sim::analysis {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double percent_true(const std::vector<bool>& xs) {
+  if (xs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (bool x : xs) {
+    if (x) ++n;
+  }
+  return 100.0 * static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+}  // namespace h2sim::analysis

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace h2sim::analysis {
+
+/// Small numeric helpers for the experiment harness.
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+double percentile(std::vector<double> xs, double p);  // p in [0,100]
+
+/// Fraction of true values, as a percentage.
+double percent_true(const std::vector<bool>& xs);
+
+}  // namespace h2sim::analysis

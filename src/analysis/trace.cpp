@@ -1,0 +1,37 @@
+#include "analysis/trace.hpp"
+
+#include <algorithm>
+
+namespace h2sim::analysis {
+
+std::vector<std::uint32_t> WireLog::streams_for(const std::string& object) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& ev : events_) {
+    if (ev.object == object &&
+        std::find(out.begin(), out.end(), ev.stream_id) == out.end()) {
+      out.push_back(ev.stream_id);
+    }
+  }
+  return out;
+}
+
+std::vector<RecordObs> PacketTrace::in_direction(net::Direction dir) const {
+  std::vector<RecordObs> out;
+  for (const auto& r : records_) {
+    if (r.dir == dir) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t PacketTrace::count_appdata(net::Direction dir, std::size_t min_body) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.dir == dir && r.type == tls::ContentType::kApplicationData &&
+        r.body_len >= min_body) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace h2sim::analysis

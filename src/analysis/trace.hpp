@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "tls/record.hpp"
+
+namespace h2sim::analysis {
+
+/// Ground-truth wire event: one HTTP/2 frame written by the server (each
+/// frame is exactly one TLS record, and TCP preserves write order on the
+/// byte stream). Built from the server connection's frame tap plus the
+/// server app's stream->object map; used by the evaluator, never by the
+/// attacker.
+struct ServerWireEvent {
+  sim::TimePoint time;
+  std::uint32_t stream_id = 0;
+  std::string object;          // label ("html", "party3", ...); "" = control
+  std::size_t data_bytes = 0;  // DATA payload bytes (0 for control frames)
+  bool is_data = false;
+  bool end_stream = false;
+};
+
+class WireLog {
+ public:
+  void add(ServerWireEvent ev) { events_.push_back(std::move(ev)); }
+  const std::vector<ServerWireEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// All distinct stream ids that carried a given object label, in first-
+  /// appearance order (original + duplicate copies).
+  std::vector<std::uint32_t> streams_for(const std::string& object) const;
+
+ private:
+  std::vector<ServerWireEvent> events_;
+};
+
+/// Attacker-side observation of one TLS record, reconstructed from the
+/// packet capture at the compromised gateway. Only ciphertext sizes, record
+/// types and timing — exactly the paper's adversary view.
+struct RecordObs {
+  sim::TimePoint time;
+  net::Direction dir = net::Direction::kServerToClient;
+  tls::ContentType type = tls::ContentType::kApplicationData;
+  std::size_t body_len = 0;  // record length field (ciphertext + tag)
+};
+
+class PacketTrace {
+ public:
+  void add(RecordObs obs) { records_.push_back(obs); }
+  const std::vector<RecordObs>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  std::vector<RecordObs> in_direction(net::Direction dir) const;
+  std::size_t count_appdata(net::Direction dir, std::size_t min_body = 0) const;
+
+ private:
+  std::vector<RecordObs> records_;
+};
+
+}  // namespace h2sim::analysis

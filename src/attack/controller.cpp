@@ -1,0 +1,51 @@
+#include "attack/controller.hpp"
+
+#include <cmath>
+
+#include "attack/monitor.hpp"
+
+namespace h2sim::attack {
+
+bool NetworkController::is_request_packet(const net::Packet& p) const {
+  if (monitor_) return monitor_->packet_is_request(p.id);
+  return p.payload.size() >= request_payload_min;
+}
+
+net::Decision NetworkController::on_packet(const net::Packet& p,
+                                           net::Direction dir,
+                                           sim::TimePoint now) {
+  if (dir == net::Direction::kClientToServer) {
+    if (spacing_ > sim::Duration::zero() && monitor_ &&
+        drop_held_request_retransmissions &&
+        monitor_->packet_is_c2s_retransmission(p.id) && now < last_release_) {
+      ++stats_.retransmissions_suppressed;
+      return net::Decision::drop();
+    }
+    if (spacing_ > sim::Duration::zero() && is_request_packet(p)) {
+      // "First request delayed by 0 ms, second by d, third by 2d..." — the
+      // first request always passes; later ones keep >= spacing between
+      // releases.
+      sim::TimePoint release = any_released_ ? last_release_ + spacing_ : now;
+      if (release < now) release = now;
+      last_release_ = release;
+      any_released_ = true;
+      if (release > now) {
+        ++stats_.requests_spaced;
+        const sim::Duration hold = release - now;
+        if (hold > stats_.max_hold) stats_.max_hold = hold;
+        return net::Decision::hold(hold);
+      }
+    }
+    return net::Decision::forward();
+  }
+
+  // Server -> client: random policing during the drop window (the paper's
+  // "drop 80 % of application packets").
+  if (dropping() && !p.payload.empty() && rng_.bernoulli(drop_rate_)) {
+    ++stats_.packets_dropped;
+    return net::Decision::drop();
+  }
+  return net::Decision::forward();
+}
+
+}  // namespace h2sim::attack

@@ -1,0 +1,65 @@
+#include "attack/pipeline.hpp"
+
+#include "sim/log.hpp"
+
+namespace h2sim::attack {
+
+const char* to_string(AttackPipeline::Phase p) {
+  switch (p) {
+    case AttackPipeline::Phase::kIdle: return "idle";
+    case AttackPipeline::Phase::kJitter: return "jitter";
+    case AttackPipeline::Phase::kDisrupt: return "disrupt";
+    case AttackPipeline::Phase::kSerialize: return "serialize";
+  }
+  return "?";
+}
+
+AttackPipeline::AttackPipeline(sim::EventLoop& loop, net::Middlebox& mb,
+                               AttackConfig cfg, sim::Rng rng)
+    : loop_(loop), mb_(mb), cfg_(cfg), controller_(loop, rng) {
+  mb_.set_tap([this](const net::Packet& p, net::Direction dir, sim::TimePoint t) {
+    monitor_.observe(p, dir, t);
+  });
+  if (!cfg_.enabled) return;
+
+  mb_.set_policy(&controller_);
+  controller_.set_monitor(&monitor_);
+  controller_.drop_held_request_retransmissions = cfg_.suppress_request_retransmissions;
+  controller_.set_request_spacing(cfg_.jitter_phase1);
+  if (cfg_.use_throttle && cfg_.throttle_from_start) {
+    mb_.set_rate_limit(cfg_.throttle_bps);
+  }
+  phase_ = Phase::kJitter;
+  monitor_.on_get = [this](int index, sim::TimePoint now) { on_get(index, now); };
+}
+
+void AttackPipeline::on_get(int index, sim::TimePoint now) {
+  if (!triggered_ && index == cfg_.trigger_get_index) {
+    triggered_ = true;
+    sim::logf(sim::LogLevel::kInfo, now, "attack",
+              "GET #%d seen: entering disrupt phase", index);
+    enter_disrupt();
+  }
+}
+
+void AttackPipeline::enter_disrupt() {
+  phase_ = Phase::kDisrupt;
+  if (cfg_.use_throttle) mb_.set_rate_limit(cfg_.throttle_bps);
+  if (cfg_.use_drop) {
+    controller_.start_drop_window(cfg_.drop_rate, cfg_.drop_duration);
+    loop_.schedule_after(cfg_.drop_duration, [this] { enter_serialize(); });
+  } else {
+    enter_serialize();
+  }
+}
+
+void AttackPipeline::enter_serialize() {
+  phase_ = Phase::kSerialize;
+  controller_.stop_drop();
+  controller_.set_request_spacing(cfg_.jitter_phase2);
+  sim::logf(sim::LogLevel::kInfo, loop_.now(), "attack",
+            "drop window over: spacing %.0fms for the image burst",
+            cfg_.jitter_phase2.to_millis());
+}
+
+}  // namespace h2sim::attack

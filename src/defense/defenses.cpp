@@ -1,0 +1,91 @@
+#include "defense/defenses.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace h2sim::defense {
+
+web::Website pad_site(const web::Website& site, std::size_t quantum) {
+  web::Website padded;
+  for (const auto& [path, obj] : site.objects()) {
+    web::WebObject p = obj;
+    if (quantum > 1) {
+      p.size = (p.size + quantum - 1) / quantum * quantum;
+    }
+    padded.add_object(p);
+  }
+  padded.schedule = site.schedule;
+  padded.html_path = site.html_path;
+  padded.emblem_paths = site.emblem_paths;
+  return padded;
+}
+
+double padding_overhead(const web::Website& original, const web::Website& padded) {
+  std::size_t before = 0, after = 0;
+  for (const auto& [path, obj] : original.objects()) before += obj.size;
+  for (const auto& [path, obj] : padded.objects()) after += obj.size;
+  if (before == 0) return 0.0;
+  return static_cast<double>(after) / static_cast<double>(before) - 1.0;
+}
+
+int distinguishable_emblems(const web::Website& site, double tolerance) {
+  int unique = 0;
+  for (const std::string& epath : site.emblem_paths) {
+    const web::WebObject* emblem = site.find(epath);
+    if (!emblem) continue;
+    bool collides = false;
+    for (const auto& [path, obj] : site.objects()) {
+      if (path == epath) continue;
+      const double rel = std::abs(static_cast<double>(obj.size) -
+                                  static_cast<double>(emblem->size)) /
+                         static_cast<double>(emblem->size);
+      if (rel <= tolerance) {
+        collides = true;
+        break;
+      }
+    }
+    if (!collides) ++unique;
+  }
+  return unique;
+}
+
+void inject_dummies(web::Website& site, sim::Rng& rng, const DummyConfig& cfg) {
+  // Dummy objects go live on the server...
+  std::vector<std::string> paths;
+  for (int i = 0; i < cfg.count; ++i) {
+    web::WebObject o;
+    o.path = "/pad/cover" + std::to_string(i) + ".bin";
+    o.content_type = "application/octet-stream";
+    o.size = cfg.min_size + rng.uniform(cfg.max_size - cfg.min_size + 1);
+    o.label = "dummy" + std::to_string(i);
+    site.add_object(o);
+    paths.push_back(o.path);
+  }
+  // ...and their requests interleave with the post-HTML phase, where the
+  // objects of interest live.
+  std::vector<web::RequestStep> steps;
+  std::size_t injected = 0;
+  for (const web::RequestStep& s : site.schedule) {
+    steps.push_back(s);
+    if (s.gate == web::Gate::kHtmlComplete && injected < paths.size() &&
+        rng.bernoulli(0.5)) {
+      web::RequestStep dummy;
+      dummy.path = paths[injected++];
+      dummy.gap_from_prev = sim::Duration::millis_f(cfg.gap_ms);
+      dummy.gate = web::Gate::kHtmlComplete;
+      steps.push_back(dummy);
+    }
+  }
+  // Any leftovers trail the load.
+  for (; injected < paths.size(); ++injected) {
+    web::RequestStep dummy;
+    dummy.path = paths[injected];
+    dummy.gap_from_prev = sim::Duration::millis_f(cfg.gap_ms);
+    dummy.gate = web::Gate::kHtmlComplete;
+    steps.push_back(dummy);
+  }
+  site.schedule = std::move(steps);
+}
+
+}  // namespace h2sim::defense

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "web/website.hpp"
+
+namespace h2sim::defense {
+
+/// Classic size-channel defenses from the literature the paper's
+/// introduction surveys (traffic morphing / padding / cover traffic), plus
+/// the paper's own §VII suggestion (client-side order randomization, which
+/// lives in web::BrowserConfig::randomize_embedded_order). These let the
+/// benches quantify the trade-off the paper calls "unreasonable CPU and
+/// bandwidth overheads".
+
+/// Pads every object's size up to a multiple of `quantum` bytes: objects
+/// that shared no size class before may collide after, destroying the
+/// attacker's size->identity mapping. Returns the padded copy.
+web::Website pad_site(const web::Website& site, std::size_t quantum);
+
+/// Bandwidth overhead of padding: (padded total / original total) - 1.
+double padding_overhead(const web::Website& original, const web::Website& padded);
+
+/// How many of the site's party emblems still have a unique size class
+/// (within `tolerance`) after a defense transformed the site. 8 means the
+/// attack's premise fully holds; 0 means identification is hopeless.
+int distinguishable_emblems(const web::Website& site, double tolerance = 0.02);
+
+/// Injects `count` dummy objects (cover traffic) with sizes drawn uniformly
+/// from [min_size, max_size] and schedule steps interleaved into the
+/// embedded-request phase. The extra transmissions feed the attacker's
+/// detector junk that is indistinguishable from real objects.
+struct DummyConfig {
+  int count = 8;
+  std::size_t min_size = 4000;
+  std::size_t max_size = 18000;
+  double gap_ms = 6.0;
+};
+void inject_dummies(web::Website& site, sim::Rng& rng, const DummyConfig& cfg = {});
+
+}  // namespace h2sim::defense

@@ -1,0 +1,290 @@
+#include "experiment/harness.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/boundary.hpp"
+#include "defense/defenses.hpp"
+#include "h2/server.hpp"
+#include "tcp/tcp_stack.hpp"
+#include "tls/session.hpp"
+
+namespace h2sim::experiment {
+
+using sim::Duration;
+
+net::Path::Config TrialConfig::default_path() {
+  net::Path::Config p;
+  // Client <-> gateway: the lab LAN segment.
+  p.client_side.delay = Duration::millis(2);
+  p.client_side.bandwidth_bps = 1e9;
+  p.client_side.queue_limit_bytes = 256 * 1024;
+  p.client_side.loss_rate = 0.0;
+  // Gateway <-> server: the Internet path to isidewith (1 Gbps uplink with
+  // light background loss).
+  p.server_side.delay = Duration::millis(10);
+  p.server_side.bandwidth_bps = 1e9;
+  p.server_side.queue_limit_bytes = 128 * 1024;
+  // Light Internet-path background loss: enough for a measurable baseline
+  // retransmission rate without collapsing the congestion window.
+  p.server_side.loss_rate = 1e-4;
+  return p;
+}
+
+h2::ConnectionConfig TrialConfig::default_server_h2() {
+  h2::ConnectionConfig c;
+  c.scheduler = h2::SchedulerKind::kRoundRobin;  // multiplexing enabled
+  c.data_chunk_size = 1024;
+  c.max_concurrent_streams = 100;
+  return c;
+}
+
+h2::ConnectionConfig TrialConfig::default_client_h2() {
+  h2::ConnectionConfig c;
+  c.scheduler = h2::SchedulerKind::kRoundRobin;
+  c.initial_window_size = 131072;  // Firefox-like
+  return c;
+}
+
+attack::AttackConfig TrialConfig::default_attack_off() {
+  attack::AttackConfig a;
+  a.enabled = false;
+  return a;
+}
+
+attack::AttackConfig full_attack_config() {
+  attack::AttackConfig a;
+  a.enabled = true;
+  a.jitter_phase1 = Duration::millis(50);
+  a.trigger_get_index = 6;
+  a.use_throttle = true;
+  a.throttle_bps = 800e6;
+  a.use_drop = true;
+  a.drop_rate = 0.8;
+  a.drop_duration = Duration::seconds(6);
+  a.jitter_phase2 = Duration::millis(80);
+  return a;
+}
+
+attack::AttackConfig single_target_attack_config(int target_get_index) {
+  // Same staged pipeline; the disrupt phase is armed on the target's own GET
+  // (the monitor counts requests at arrival, before any hold, so phase-1
+  // spacing does not disturb the count).
+  attack::AttackConfig a = full_attack_config();
+  a.trigger_get_index = target_get_index;
+  return a;
+}
+
+attack::AttackConfig jitter_only_config(Duration spacing) {
+  attack::AttackConfig a;
+  a.enabled = true;
+  a.jitter_phase1 = spacing;
+  a.trigger_get_index = 0;  // never trigger: jitter for the whole run
+  a.use_throttle = false;
+  a.use_drop = false;
+  return a;
+}
+
+attack::AttackConfig jitter_throttle_config(Duration spacing, double bps) {
+  attack::AttackConfig a = jitter_only_config(spacing);
+  a.use_throttle = true;
+  a.throttle_bps = bps;
+  a.throttle_from_start = true;
+  return a;
+}
+
+int html_get_index(const web::IsidewithConfig& site) { return site.pre_objects + 1; }
+
+int emblem_get_index(const web::IsidewithConfig& site, int j) {
+  return site.pre_objects + 1 + site.head_fillers + j + 1;
+}
+
+TrialResult run_trial(const TrialConfig& cfg) {
+  sim::EventLoop loop;
+  sim::Rng root(cfg.seed);
+  sim::Rng rng_perm = root.split();
+  sim::Rng rng_server_stack = root.split();
+  sim::Rng rng_client_stack = root.split();
+  sim::Rng rng_server_h2 = root.split();
+  sim::Rng rng_client_h2 = root.split();
+  sim::Rng rng_app = root.split();
+  sim::Rng rng_browser = root.split();
+  sim::Rng rng_attack = root.split();
+
+  // The user's survey result: a uniformly random party ranking.
+  std::vector<int> perm_v = {0, 1, 2, 3, 4, 5, 6, 7};
+  rng_perm.shuffle(perm_v);
+  std::array<int, 8> perm{};
+  std::copy(perm_v.begin(), perm_v.end(), perm.begin());
+
+  // Topology with per-trial loss seeds.
+  net::Path::Config pcfg = cfg.path;
+  pcfg.client_side.loss_seed ^= cfg.seed;
+  pcfg.server_side.loss_seed ^= cfg.seed * 0x9e3779b9ULL;
+  net::Path path(loop, pcfg);
+
+  const tcp::TcpConfig tcp_cfg;
+  tcp::TcpStack server_stack(loop, rng_server_stack, net::Path::kServerNode,
+                             tcp_cfg, [&path](net::Packet&& p) {
+                               path.send_from_server(std::move(p));
+                             });
+  tcp::TcpStack client_stack(loop, rng_client_stack, net::Path::kClientNode,
+                             tcp_cfg, [&path](net::Packet&& p) {
+                               path.send_from_client(std::move(p));
+                             });
+  path.set_server_sink([&server_stack](net::Packet&& p) {
+    server_stack.deliver(std::move(p));
+  });
+  path.set_client_sink([&client_stack](net::Packet&& p) {
+    client_stack.deliver(std::move(p));
+  });
+
+  web::Website site =
+      cfg.site_builder ? cfg.site_builder() : web::make_isidewith_site(cfg.site);
+  if (cfg.defense.pad_quantum > 1) {
+    site = defense::pad_site(site, cfg.defense.pad_quantum);
+  }
+  if (cfg.defense.dummy_count > 0) {
+    sim::Rng rng_defense = root.split();
+    defense::DummyConfig dc;
+    dc.count = cfg.defense.dummy_count;
+    defense::inject_dummies(site, rng_defense, dc);
+  }
+  analysis::WireLog wire_log;
+
+  struct ServerSide {
+    std::unique_ptr<tls::TlsSession> tls;
+    std::unique_ptr<h2::ServerConnection> conn;
+    std::unique_ptr<web::ServerApp> app;
+  };
+  std::vector<std::unique_ptr<ServerSide>> server_conns;
+
+  server_stack.listen(443, [&](tcp::TcpConnection& c) {
+    auto sc = std::make_unique<ServerSide>();
+    sc->tls = std::make_unique<tls::TlsSession>(c, tls::TlsSession::Role::kServer);
+    sc->conn = std::make_unique<h2::ServerConnection>(loop, *sc->tls, cfg.server_h2,
+                                                      rng_server_h2.split());
+    sc->app = std::make_unique<web::ServerApp>(loop, site, *sc->conn,
+                                               rng_app.split(), cfg.server_app);
+    web::ServerApp* app = sc->app.get();
+    sc->conn->set_frame_tap([app, &wire_log](const h2::Frame& f, sim::TimePoint t) {
+      analysis::ServerWireEvent ev;
+      ev.time = t;
+      ev.stream_id = f.stream_id;
+      ev.is_data = f.type == h2::FrameType::kData;
+      ev.data_bytes = ev.is_data ? f.payload.size() : 0;
+      ev.end_stream = ev.is_data && f.has_flag(h2::flags::kEndStream);
+      auto it = app->stream_objects().find(f.stream_id);
+      ev.object = it != app->stream_objects().end() ? it->second : "";
+      wire_log.add(std::move(ev));
+    });
+    server_conns.push_back(std::move(sc));
+  });
+
+  // The adversary at the gateway.
+  attack::AttackPipeline pipeline(loop, path.middlebox(), cfg.attack, rng_attack);
+
+  // Client: TCP connect -> TLS -> HTTP/2 -> browser.
+  tcp::TcpConnection& client_tcp = client_stack.connect(net::Path::kServerNode, 443);
+  tls::TlsSession client_tls(client_tcp, tls::TlsSession::Role::kClient);
+  h2::ClientConnection client_conn(loop, client_tls, cfg.client_h2, rng_client_h2);
+  web::Browser browser(loop, client_conn, site, perm, rng_browser, cfg.browser);
+  browser.start();
+
+  loop.run(sim::TimePoint::origin() + cfg.sim_limit);
+
+  if (cfg.wire_log_inspector) cfg.wire_log_inspector(wire_log);
+  if (cfg.trace_inspector) cfg.trace_inspector(pipeline.trace());
+
+  // ---- Evaluation ----
+  TrialResult r;
+  r.truth = perm;
+  r.page_complete = browser.page_complete();
+  r.failure_reason = browser.failure_reason();
+  r.connection_broken = browser.failed() &&
+                        r.failure_reason.find("connection dead") != std::string::npos;
+  r.browser_reissues = browser.total_reissues();
+  r.reset_sweeps = browser.reset_sweeps();
+
+  const tcp::TcpStats cs = client_stack.aggregate_stats();
+  const tcp::TcpStats ss = server_stack.aggregate_stats();
+  r.tcp_fast_retransmits = cs.retransmits_fast + ss.retransmits_fast;
+  r.tcp_rto_retransmits = cs.retransmits_rto + ss.retransmits_rto;
+  r.tcp_retransmits = r.tcp_fast_retransmits + r.tcp_rto_retransmits;
+  r.adversary_drops = pipeline.controller().stats().packets_dropped;
+  r.requests_spaced = pipeline.controller().stats().requests_spaced;
+  r.link_drops = path.link_drops();
+  r.records_observed = pipeline.trace().records().size();
+  r.gets_counted = pipeline.monitor().get_count();
+
+  double last_done = 0.0;
+  for (const auto& o : browser.objects()) {
+    if (o.complete) last_done = std::max(last_done, o.complete_time.to_seconds());
+  }
+  r.page_load_seconds = last_done;
+
+  // Custom sites without the isidewith structure are evaluated through the
+  // inspectors only.
+  if (site.emblem_paths.size() < 8 || !site.find(site.html_path)) return r;
+
+  // Size databases: the adversary's pre-compiled maps, built from the
+  // public (possibly defense-transformed) site.
+  analysis::SizeIdentityDb emblem_db;
+  for (int k = 0; k < 8; ++k) {
+    emblem_db.add("party" + std::to_string(k),
+                  site.find(site.emblem_paths[static_cast<std::size_t>(k)])->size);
+  }
+  analysis::SizeIdentityDb html_db;
+  html_db.add("html", site.find(site.html_path)->size);
+
+  const std::vector<analysis::DetectedObject> detections =
+      analysis::detect_objects(pipeline.trace());
+  const analysis::SequencePrediction pred =
+      analysis::predict_sequence(detections, emblem_db);
+  r.predicted = pred.ranking;
+
+  bool html_size_seen = false;
+  for (const auto& d : detections) {
+    if (html_db.identify(d.size_estimate)) html_size_seen = true;
+  }
+
+  // Objects of interest: the HTML, then the emblem at each burst position.
+  auto outcome_for = [&](const std::string& label) {
+    ObjectOutcome oo;
+    oo.label = label;
+    const analysis::ObjectDom od = analysis::object_dom(wire_log, label);
+    oo.primary_dom = od.primary_dom;
+    oo.min_dom = od.min_dom;
+    oo.primary_serialized = od.primary_serialized;
+    oo.any_copy_serialized = od.any_copy_serialized;
+    oo.copies = static_cast<int>(od.copies.size());
+    for (const auto& o : browser.objects()) {
+      if (o.label == label && o.complete) oo.delivered = true;
+    }
+    return oo;
+  };
+
+  ObjectOutcome html = outcome_for("html");
+  html.size_identified = html_size_seen;
+  r.success[0] = html.any_copy_serialized && html.size_identified;
+  r.interest.push_back(std::move(html));
+
+  for (int j = 0; j < 8; ++j) {
+    const std::string label = "party" + std::to_string(perm[static_cast<std::size_t>(j)]);
+    ObjectOutcome oo = outcome_for(label);
+    for (const auto& d : detections) {
+      const auto m = emblem_db.identify(d.size_estimate);
+      if (m && m->label == label) oo.size_identified = true;
+    }
+    const bool position_correct =
+        pred.ranking.size() > static_cast<std::size_t>(j) &&
+        pred.ranking[static_cast<std::size_t>(j)] == label;
+    r.success[static_cast<std::size_t>(j) + 1] =
+        oo.any_copy_serialized && position_correct;
+    r.interest.push_back(std::move(oo));
+  }
+
+  return r;
+}
+
+}  // namespace h2sim::experiment

@@ -1,0 +1,61 @@
+#include "experiment/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace h2sim::experiment {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::pct(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v);
+  return buf;
+}
+
+void TablePrinter::print(const std::string& title) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title.empty()) std::printf("\n=== %s ===\n", title.c_str());
+  auto print_sep = [&] {
+    std::printf("+");
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[c]), s.c_str());
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(columns_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+}  // namespace h2sim::experiment

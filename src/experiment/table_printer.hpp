@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace h2sim::experiment {
+
+/// Minimal fixed-width console table, used by every bench to print the
+/// paper-vs-measured rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print(const std::string& title = "") const;
+
+  static std::string fmt(double v, int decimals = 1);
+  static std::string pct(double v, int decimals = 0);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace h2sim::experiment

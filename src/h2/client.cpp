@@ -1,0 +1,12 @@
+#include "h2/client.hpp"
+
+namespace h2sim::h2 {
+
+std::uint32_t ClientConnection::send_request(const hpack::HeaderList& headers) {
+  const std::uint32_t id = next_local_stream_;
+  next_local_stream_ += 2;
+  send_headers(id, headers, /*end_stream=*/true);
+  return id;
+}
+
+}  // namespace h2sim::h2

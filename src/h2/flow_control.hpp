@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace h2sim::h2 {
+
+inline constexpr std::int64_t kDefaultInitialWindow = 65535;
+inline constexpr std::int64_t kMaxWindow = 0x7fffffff;
+
+/// One flow-control window (connection-level or stream-level). Windows may
+/// legitimately go negative when SETTINGS_INITIAL_WINDOW_SIZE shrinks
+/// (RFC 7540 §6.9.2), so this is signed arithmetic with an overflow check on
+/// replenish.
+class FlowWindow {
+ public:
+  explicit FlowWindow(std::int64_t initial = kDefaultInitialWindow)
+      : window_(initial) {}
+
+  std::int64_t available() const { return window_; }
+  bool can_send(std::int64_t n) const { return window_ >= n; }
+
+  void consume(std::int64_t n) { window_ -= n; }
+
+  /// Returns false on window overflow (> 2^31-1), a FLOW_CONTROL_ERROR.
+  bool replenish(std::int64_t n) {
+    window_ += n;
+    return window_ <= kMaxWindow;
+  }
+
+  /// Applies an INITIAL_WINDOW_SIZE delta (may push the window negative).
+  void adjust(std::int64_t delta) { window_ += delta; }
+
+ private:
+  std::int64_t window_;
+};
+
+}  // namespace h2sim::h2

@@ -1,0 +1,94 @@
+#include "hpack/decoder.hpp"
+
+#include "hpack/huffman.hpp"
+#include "hpack/integer.hpp"
+#include "hpack/static_table.hpp"
+
+namespace h2sim::hpack {
+
+const HeaderField* Decoder::lookup(std::size_t index) const {
+  if (index == 0) return nullptr;
+  if (index <= static_table::kEntries) return &static_table::at(index);
+  const std::size_t dyn = index - static_table::kEntries;
+  if (dyn > table_.entry_count()) return nullptr;
+  return &table_.at(dyn);
+}
+
+std::optional<std::string> Decoder::decode_string(std::span<const std::uint8_t> in,
+                                                  std::size_t& pos) {
+  if (pos >= in.size()) return std::nullopt;
+  const bool huff = (in[pos] & 0x80) != 0;
+  const auto len = decode_integer(in, pos, 7);
+  if (!len || pos + *len > in.size()) return std::nullopt;
+  std::span<const std::uint8_t> bytes = in.subspan(pos, *len);
+  pos += *len;
+  if (huff) return huffman::decode(bytes);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::optional<HeaderList> Decoder::decode(std::span<const std::uint8_t> block) {
+  HeaderList out;
+  std::size_t pos = 0;
+  bool saw_field = false;
+  while (pos < block.size()) {
+    const std::uint8_t b = block[pos];
+    if (b & 0x80) {
+      // Indexed header field.
+      const auto idx = decode_integer(block, pos, 7);
+      if (!idx) return std::nullopt;
+      const HeaderField* f = lookup(*idx);
+      if (!f) return std::nullopt;
+      out.push_back(*f);
+      saw_field = true;
+    } else if (b & 0x40) {
+      // Literal with incremental indexing.
+      const auto idx = decode_integer(block, pos, 6);
+      if (!idx) return std::nullopt;
+      HeaderField f;
+      if (*idx != 0) {
+        const HeaderField* nf = lookup(*idx);
+        if (!nf) return std::nullopt;
+        f.name = nf->name;
+      } else {
+        auto name = decode_string(block, pos);
+        if (!name) return std::nullopt;
+        f.name = std::move(*name);
+      }
+      auto value = decode_string(block, pos);
+      if (!value) return std::nullopt;
+      f.value = std::move(*value);
+      table_.insert(f);
+      out.push_back(std::move(f));
+      saw_field = true;
+    } else if (b & 0x20) {
+      // Dynamic table size update: must precede any field in the block and
+      // must not exceed the advertised limit.
+      if (saw_field) return std::nullopt;
+      const auto size = decode_integer(block, pos, 5);
+      if (!size || *size > max_allowed_table_) return std::nullopt;
+      table_.set_max_size(*size);
+    } else {
+      // Literal without indexing (0x00) or never indexed (0x10).
+      const auto idx = decode_integer(block, pos, 4);
+      if (!idx) return std::nullopt;
+      HeaderField f;
+      if (*idx != 0) {
+        const HeaderField* nf = lookup(*idx);
+        if (!nf) return std::nullopt;
+        f.name = nf->name;
+      } else {
+        auto name = decode_string(block, pos);
+        if (!name) return std::nullopt;
+        f.name = std::move(*name);
+      }
+      auto value = decode_string(block, pos);
+      if (!value) return std::nullopt;
+      f.value = std::move(*value);
+      out.push_back(std::move(f));
+      saw_field = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace h2sim::hpack

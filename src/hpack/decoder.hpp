@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "hpack/dynamic_table.hpp"
+#include "hpack/header.hpp"
+
+namespace h2sim::hpack {
+
+/// HPACK decoder: one per connection direction. Returns nullopt on any
+/// malformed block, which the HTTP/2 layer maps to COMPRESSION_ERROR.
+class Decoder {
+ public:
+  explicit Decoder(std::size_t table_size = 4096) : table_(table_size) {}
+
+  /// Upper bound the peer may resize the table to (our advertised
+  /// SETTINGS_HEADER_TABLE_SIZE).
+  void set_max_table_size(std::size_t size) { max_allowed_table_ = size; }
+
+  std::optional<HeaderList> decode(std::span<const std::uint8_t> block);
+
+  const DynamicTable& table() const { return table_; }
+
+ private:
+  std::optional<std::string> decode_string(std::span<const std::uint8_t> in,
+                                           std::size_t& pos);
+  const HeaderField* lookup(std::size_t index) const;
+
+  DynamicTable table_;
+  std::size_t max_allowed_table_ = 4096;
+};
+
+}  // namespace h2sim::hpack

@@ -1,0 +1,48 @@
+#include "hpack/dynamic_table.hpp"
+
+#include <cassert>
+
+namespace h2sim::hpack {
+
+void DynamicTable::insert(HeaderField field) {
+  const std::size_t fsize = field.hpack_size();
+  if (fsize > max_size_) {
+    evict_to(0);
+    return;
+  }
+  evict_to(max_size_ - fsize);
+  size_ += fsize;
+  entries_.push_front(std::move(field));
+}
+
+void DynamicTable::set_max_size(std::size_t max_size) {
+  max_size_ = max_size;
+  evict_to(max_size_);
+}
+
+void DynamicTable::evict_to(std::size_t budget) {
+  while (size_ > budget) {
+    assert(!entries_.empty());
+    size_ -= entries_.back().hpack_size();
+    entries_.pop_back();
+  }
+}
+
+const HeaderField& DynamicTable::at(std::size_t index) const {
+  assert(index >= 1 && index <= entries_.size());
+  return entries_[index - 1];
+}
+
+DynamicTable::Match DynamicTable::find(std::string_view name,
+                                       std::string_view value) const {
+  Match m;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const HeaderField& f = entries_[i];
+    if (f.name != name) continue;
+    if (f.value == value) return Match{i + 1, true};
+    if (m.index == 0) m = Match{i + 1, false};
+  }
+  return m;
+}
+
+}  // namespace h2sim::hpack

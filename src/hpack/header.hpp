@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace h2sim::hpack {
+
+/// One header field. Names are kept lowercase per HTTP/2 requirements.
+struct HeaderField {
+  std::string name;
+  std::string value;
+
+  /// RFC 7541 §4.1 size: name + value + 32 bytes of bookkeeping overhead.
+  std::size_t hpack_size() const { return name.size() + value.size() + 32; }
+
+  bool operator==(const HeaderField&) const = default;
+};
+
+using HeaderList = std::vector<HeaderField>;
+
+}  // namespace h2sim::hpack

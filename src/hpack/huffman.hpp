@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace h2sim::hpack {
+
+/// RFC 7541 Appendix B Huffman coding for header strings.
+namespace huffman {
+
+/// Encoded size in bytes of `s` (including the EOS padding of the final
+/// partial byte).
+std::size_t encoded_size(std::string_view s);
+
+/// Appends the Huffman encoding of `s` to `out`.
+void encode(std::string_view s, std::string& out);
+
+/// Decodes `in`; returns nullopt on invalid padding or a decoded EOS symbol
+/// (both connection errors per RFC 7541 §5.2).
+std::optional<std::string> decode(std::span<const std::uint8_t> in);
+
+}  // namespace huffman
+}  // namespace h2sim::hpack

@@ -1,0 +1,39 @@
+#include "hpack/integer.hpp"
+
+namespace h2sim::hpack {
+
+void encode_integer(std::uint64_t value, int prefix_bits,
+                    std::uint8_t first_byte_flags, std::vector<std::uint8_t>& out) {
+  const std::uint64_t max_prefix = (1u << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.push_back(static_cast<std::uint8_t>(first_byte_flags | value));
+    return;
+  }
+  out.push_back(static_cast<std::uint8_t>(first_byte_flags | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.push_back(static_cast<std::uint8_t>(0x80 | (value & 0x7f)));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::optional<std::uint64_t> decode_integer(std::span<const std::uint8_t> in,
+                                            std::size_t& pos, int prefix_bits) {
+  if (pos >= in.size()) return std::nullopt;
+  const std::uint64_t max_prefix = (1u << prefix_bits) - 1;
+  std::uint64_t value = in[pos++] & max_prefix;
+  if (value < max_prefix) return value;
+
+  int shift = 0;
+  for (;;) {
+    if (pos >= in.size()) return std::nullopt;
+    if (shift > 56) return std::nullopt;  // would overflow: reject
+    const std::uint8_t b = in[pos++];
+    value += static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+}  // namespace h2sim::hpack

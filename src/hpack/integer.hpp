@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace h2sim::hpack {
+
+/// RFC 7541 §5.1 prefixed integer encoding. `prefix_bits` is N in the spec
+/// (1..8); `first_byte_flags` carries the representation's pattern bits above
+/// the prefix (e.g. 0x80 for an indexed header field).
+void encode_integer(std::uint64_t value, int prefix_bits,
+                    std::uint8_t first_byte_flags, std::vector<std::uint8_t>& out);
+
+/// Incremental decode. On success returns the value and advances `pos` past
+/// the integer; on underflow (truncated input) returns nullopt and leaves
+/// `pos` unspecified. Overlong/overflowing encodings (> 2^62) also fail.
+std::optional<std::uint64_t> decode_integer(std::span<const std::uint8_t> in,
+                                            std::size_t& pos, int prefix_bits);
+
+}  // namespace h2sim::hpack

@@ -1,0 +1,94 @@
+#include "hpack/static_table.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace h2sim::hpack::static_table {
+namespace {
+
+const std::array<HeaderField, kEntries>& table() {
+  static const std::array<HeaderField, kEntries> t = {{
+      {":authority", ""},
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":path", "/index.html"},
+      {":scheme", "http"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {":status", "204"},
+      {":status", "206"},
+      {":status", "304"},
+      {":status", "400"},
+      {":status", "404"},
+      {":status", "500"},
+      {"accept-charset", ""},
+      {"accept-encoding", "gzip, deflate"},
+      {"accept-language", ""},
+      {"accept-ranges", ""},
+      {"accept", ""},
+      {"access-control-allow-origin", ""},
+      {"age", ""},
+      {"allow", ""},
+      {"authorization", ""},
+      {"cache-control", ""},
+      {"content-disposition", ""},
+      {"content-encoding", ""},
+      {"content-language", ""},
+      {"content-length", ""},
+      {"content-location", ""},
+      {"content-range", ""},
+      {"content-type", ""},
+      {"cookie", ""},
+      {"date", ""},
+      {"etag", ""},
+      {"expect", ""},
+      {"expires", ""},
+      {"from", ""},
+      {"host", ""},
+      {"if-match", ""},
+      {"if-modified-since", ""},
+      {"if-none-match", ""},
+      {"if-range", ""},
+      {"if-unmodified-since", ""},
+      {"last-modified", ""},
+      {"link", ""},
+      {"location", ""},
+      {"max-forwards", ""},
+      {"proxy-authenticate", ""},
+      {"proxy-authorization", ""},
+      {"range", ""},
+      {"referer", ""},
+      {"refresh", ""},
+      {"retry-after", ""},
+      {"server", ""},
+      {"set-cookie", ""},
+      {"strict-transport-security", ""},
+      {"transfer-encoding", ""},
+      {"user-agent", ""},
+      {"vary", ""},
+      {"via", ""},
+      {"www-authenticate", ""},
+  }};
+  return t;
+}
+
+}  // namespace
+
+const HeaderField& at(std::size_t index) {
+  assert(index >= 1 && index <= kEntries);
+  return table()[index - 1];
+}
+
+Match find(std::string_view name, std::string_view value) {
+  Match m;
+  for (std::size_t i = 1; i <= kEntries; ++i) {
+    const HeaderField& f = table()[i - 1];
+    if (f.name != name) continue;
+    if (f.value == value) return Match{i, true};
+    if (m.index == 0) m = Match{i, false};
+  }
+  return m;
+}
+
+}  // namespace h2sim::hpack::static_table

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "hpack/header.hpp"
+
+namespace h2sim::hpack {
+
+/// RFC 7541 Appendix A static table (1-indexed, 61 entries).
+namespace static_table {
+
+inline constexpr std::size_t kEntries = 61;
+
+/// Returns the entry at `index` (1..61); terminates on out-of-range (callers
+/// validate indices first).
+const HeaderField& at(std::size_t index);
+
+/// Best static match for a field: returns (index, value_matched). A full
+/// name+value match is preferred; otherwise the first name-only match.
+struct Match {
+  std::size_t index = 0;  // 0 = no match
+  bool value_matched = false;
+};
+Match find(std::string_view name, std::string_view value);
+
+}  // namespace static_table
+}  // namespace h2sim::hpack

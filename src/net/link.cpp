@@ -1,0 +1,62 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace h2sim::net {
+
+Link::Link(sim::EventLoop& loop, Config cfg, std::string name)
+    : loop_(loop), cfg_(cfg), name_(std::move(name)), loss_rng_(cfg.loss_seed) {}
+
+void Link::send(Packet&& p) {
+  if (cfg_.loss_rate > 0 && loss_rng_.bernoulli(cfg_.loss_rate)) {
+    ++stats_.random_losses;
+    sim::logf(sim::LogLevel::kDebug, loop_.now(), name_.c_str(),
+              "random loss of %s", p.describe().c_str());
+    return;
+  }
+  if (queued_bytes_ + p.wire_size() > cfg_.queue_limit_bytes) {
+    ++stats_.dropped_packets;
+    sim::logf(sim::LogLevel::kDebug, loop_.now(), name_.c_str(),
+              "queue overflow, dropping %s", p.describe().c_str());
+    return;
+  }
+  queued_bytes_ += p.wire_size();
+  queue_.push_back(std::move(p));
+  if (!transmitting_) try_transmit();
+}
+
+void Link::try_transmit() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  // Pop now so the serializer owns the packet during transmission; the queue
+  // limit applies to waiting packets only, which is close enough to drop-tail.
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= p.wire_size();
+
+  const double bits = static_cast<double>(p.wire_size()) * 8.0;
+  const double tx_seconds =
+      cfg_.bandwidth_bps > 0 ? bits / cfg_.bandwidth_bps : 0.0;
+  const sim::Duration tx = sim::Duration::seconds_f(tx_seconds);
+
+  // Transmission completes after `tx`; the packet then propagates for
+  // `delay`. The serializer is busy only for `tx`.
+  loop_.schedule_after(tx, [this, p = std::move(p)]() mutable {
+    const sim::Duration prop = cfg_.delay;
+    ++stats_.delivered_packets;
+    stats_.delivered_bytes += p.wire_size();
+    loop_.schedule_after(prop, [this, p = std::move(p)]() mutable {
+      assert(sink_ && "link sink not attached");
+      sink_(std::move(p));
+    });
+    try_transmit();
+  });
+}
+
+}  // namespace h2sim::net

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+
+namespace h2sim::net {
+
+/// Unidirectional point-to-point link: a drop-tail byte-bounded queue feeding
+/// a serializer (transmission at `bandwidth_bps`) followed by fixed
+/// propagation delay. Matches the classic store-and-forward model, so the
+/// bandwidth-delay-product effects the paper relies on (Section IV-C) emerge
+/// naturally.
+class Link {
+ public:
+  struct Config {
+    sim::Duration delay = sim::Duration::millis(5);
+    double bandwidth_bps = 1e9;        // 1 Gbps default (the paper's lab link)
+    std::size_t queue_limit_bytes = 256 * 1024;
+    /// Random per-packet loss (Internet-path background loss); gives the
+    /// baseline TCP retransmission rate that Table I measures increases
+    /// against.
+    double loss_rate = 0.0;
+    std::uint64_t loss_seed = 0x10552aULL;
+  };
+
+  struct Stats {
+    std::uint64_t delivered_packets = 0;
+    std::uint64_t delivered_bytes = 0;
+    std::uint64_t dropped_packets = 0;
+    std::uint64_t random_losses = 0;
+  };
+
+  Link(sim::EventLoop& loop, Config cfg, std::string name);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Downstream receiver; must be set before the first send().
+  void set_sink(std::function<void(Packet&&)> sink) { sink_ = std::move(sink); }
+
+  /// Enqueues a packet for transmission; drops when the queue is full.
+  void send(Packet&& p);
+
+  /// Adjusts the serialization rate mid-run (used by bandwidth experiments).
+  void set_bandwidth(double bps) { cfg_.bandwidth_bps = bps; }
+  void set_delay(sim::Duration d) { cfg_.delay = d; }
+
+  const Config& config() const { return cfg_; }
+  const Stats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void try_transmit();
+
+  sim::EventLoop& loop_;
+  Config cfg_;
+  std::string name_;
+  std::function<void(Packet&&)> sink_;
+
+  std::deque<Packet> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+  sim::Rng loss_rng_;
+  Stats stats_;
+};
+
+}  // namespace h2sim::net

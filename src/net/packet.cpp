@@ -1,0 +1,25 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace h2sim::net {
+
+std::string Packet::describe() const {
+  char buf[160];
+  std::string flags;
+  if (tcp.syn()) flags += "SYN,";
+  if (tcp.ack_flag()) flags += "ACK,";
+  if (tcp.fin()) flags += "FIN,";
+  if (tcp.rst()) flags += "RST,";
+  if (!flags.empty()) flags.pop_back();
+  std::snprintf(buf, sizeof(buf), "pkt#%llu %u:%u->%u:%u seq=%u ack=%u [%s] len=%zu",
+                static_cast<unsigned long long>(id), src, tcp.src_port, dst,
+                tcp.dst_port, tcp.seq, tcp.ack, flags.c_str(), payload.size());
+  return buf;
+}
+
+const char* to_string(Direction dir) {
+  return dir == Direction::kClientToServer ? "client->server" : "server->client";
+}
+
+}  // namespace h2sim::net

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace h2sim::net {
+
+using NodeId = std::uint32_t;
+using Port = std::uint16_t;
+
+/// IPv4 (20 B) + TCP (20 B) header overhead carried by every packet on the
+/// wire. TLS record headers live inside the payload.
+inline constexpr std::size_t kIpTcpHeaderBytes = 40;
+
+/// Standard Ethernet-derived MTU: what fits in one packet including IP+TCP
+/// headers. The paper's adversary exploits sub-MTU "delimiter" packets.
+inline constexpr std::size_t kMtuBytes = 1500;
+inline constexpr std::size_t kMssBytes = kMtuBytes - kIpTcpHeaderBytes;  // 1460
+
+namespace tcpflag {
+inline constexpr std::uint8_t kSyn = 0x01;
+inline constexpr std::uint8_t kAck = 0x02;
+inline constexpr std::uint8_t kFin = 0x04;
+inline constexpr std::uint8_t kRst = 0x08;
+}  // namespace tcpflag
+
+/// The unencrypted TCP header: exactly what the paper's on-path adversary can
+/// read (capability (1) in Section III).
+struct TcpHeader {
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t wnd = 65535;
+
+  bool syn() const { return flags & tcpflag::kSyn; }
+  bool ack_flag() const { return flags & tcpflag::kAck; }
+  bool fin() const { return flags & tcpflag::kFin; }
+  bool rst() const { return flags & tcpflag::kRst; }
+};
+
+/// A packet in flight. Payload bytes are opaque (TLS-protected) above the
+/// TCP layer; only sizes and the TLS record headers inside are observable.
+struct Packet {
+  std::uint64_t id = 0;  // globally unique, for tracing
+  NodeId src = 0;
+  NodeId dst = 0;
+  TcpHeader tcp;
+  std::vector<std::uint8_t> payload;
+  sim::TimePoint sent_at;        // stamped when handed to the first link
+  bool is_retransmission = false;  // ground-truth annotation for evaluation
+
+  std::size_t wire_size() const { return kIpTcpHeaderBytes + payload.size(); }
+
+  std::string describe() const;
+};
+
+/// Direction of travel through the middlebox, from the adversary's viewpoint.
+enum class Direction { kClientToServer, kServerToClient };
+
+const char* to_string(Direction dir);
+
+}  // namespace h2sim::net

@@ -1,0 +1,24 @@
+#include "net/topology.hpp"
+
+namespace h2sim::net {
+
+namespace {
+net::Link::Config reseed(net::Link::Config cfg, std::uint64_t salt) {
+  cfg.loss_seed ^= salt * 0x9e3779b97f4a7c15ULL;
+  return cfg;
+}
+}  // namespace
+
+Path::Path(sim::EventLoop& loop, const Config& cfg)
+    : c2m_(loop, reseed(cfg.client_side, 1), "link.c2m"),
+      m2s_(loop, reseed(cfg.server_side, 2), "link.m2s"),
+      s2m_(loop, reseed(cfg.server_side, 3), "link.s2m"),
+      m2c_(loop, reseed(cfg.client_side, 4), "link.m2c"),
+      mb_(loop) {
+  c2m_.set_sink([this](Packet&& p) { mb_.on_from_client(std::move(p)); });
+  s2m_.set_sink([this](Packet&& p) { mb_.on_from_server(std::move(p)); });
+  mb_.attach([this](Packet&& p) { m2s_.send(std::move(p)); },
+             [this](Packet&& p) { m2c_.send(std::move(p)); });
+}
+
+}  // namespace h2sim::net

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/link.hpp"
+#include "net/middlebox.hpp"
+
+namespace h2sim::net {
+
+/// The experiment topology from the paper (Figure 2): a client and a server
+/// joined by a compromised gateway. Four unidirectional links model the two
+/// duplex segments; the middlebox sits between them.
+///
+///   client --c2m--> [middlebox] --m2s--> server
+///   client <--m2c-- [middlebox] <--s2m-- server
+class Path {
+ public:
+  struct Config {
+    Link::Config client_side;  // client <-> middlebox (both directions)
+    Link::Config server_side;  // middlebox <-> server (both directions)
+  };
+
+  static constexpr NodeId kClientNode = 1;
+  static constexpr NodeId kServerNode = 2;
+
+  Path(sim::EventLoop& loop, const Config& cfg);
+
+  Path(const Path&) = delete;
+  Path& operator=(const Path&) = delete;
+
+  /// Endpoint transmit entry points (wired into the TCP stacks).
+  void send_from_client(Packet&& p) { c2m_.send(std::move(p)); }
+  void send_from_server(Packet&& p) { s2m_.send(std::move(p)); }
+
+  /// Endpoint delivery sinks (the TCP stacks' receive paths).
+  void set_client_sink(std::function<void(Packet&&)> sink) {
+    m2c_.set_sink(std::move(sink));
+  }
+  void set_server_sink(std::function<void(Packet&&)> sink) {
+    m2s_.set_sink(std::move(sink));
+  }
+
+  Middlebox& middlebox() { return mb_; }
+  Link& client_to_mb() { return c2m_; }
+  Link& mb_to_server() { return m2s_; }
+  Link& server_to_mb() { return s2m_; }
+  Link& mb_to_client() { return m2c_; }
+
+  /// Sum of drops across all four links (congestion losses, not adversary).
+  std::uint64_t link_drops() const {
+    return c2m_.stats().dropped_packets + m2s_.stats().dropped_packets +
+           s2m_.stats().dropped_packets + m2c_.stats().dropped_packets;
+  }
+
+ private:
+  Link c2m_;
+  Link m2s_;
+  Link s2m_;
+  Link m2c_;
+  Middlebox mb_;
+};
+
+}  // namespace h2sim::net

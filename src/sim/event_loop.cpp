@@ -1,0 +1,52 @@
+#include "sim/event_loop.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace h2sim::sim {
+
+std::string format_time(TimePoint t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms", t.to_millis());
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fms", d.to_millis());
+  return buf;
+}
+
+TimerHandle EventLoop::schedule_at(TimePoint at, Callback cb) {
+  if (at < now_) at = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(cb), cancelled});
+  return TimerHandle{std::move(cancelled)};
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;  // skip cancelled events cheaply
+    now_ = ev.at;
+    *ev.cancelled = true;  // mark fired so late cancel() is a no-op
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run(TimePoint until) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.top().at > until) break;
+    if (step()) ++n;
+  }
+  if (now_ < until && until != TimePoint::max()) now_ = until;
+  return n;
+}
+
+}  // namespace h2sim::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace h2sim::sim {
+
+/// Handle to a scheduled event; allows cancellation. Handles are cheap,
+/// copyable tokens. Cancelling an already-fired or already-cancelled event
+/// is a harmless no-op, which keeps timer management in protocol code simple.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ && !*state_; }
+
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class EventLoop;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : state_(std::move(cancelled)) {}
+  // Shared with the queued event: set to true when cancelled or fired.
+  std::shared_ptr<bool> state_;
+};
+
+/// Deterministic discrete-event loop. Events scheduled for the same instant
+/// fire in insertion order (stable FIFO tie-break), which makes every run a
+/// pure function of the schedule and keeps protocol traces reproducible.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at`. Scheduling in the past is clamped
+  /// to "now" (fires before any later event).
+  TimerHandle schedule_at(TimePoint at, Callback cb);
+
+  /// Schedules `cb` after `delay` from the current simulated time.
+  TimerHandle schedule_after(Duration delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Runs until the event queue is empty or `until` is reached, whichever is
+  /// first. Returns the number of events executed.
+  std::size_t run(TimePoint until = TimePoint::max());
+
+  /// Executes exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Hard stop from inside a callback: run() returns after the current event.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;  // insertion order; ties broken FIFO
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace h2sim::sim

@@ -1,0 +1,31 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace h2sim::sim {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, TimePoint t, const char* component,
+                 const std::string& msg) {
+  if (level < level_) return;
+  static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%12.3fms] %-5s %-10s %s\n", t.to_millis(),
+               names[static_cast<int>(level)], component, msg.c_str());
+}
+
+void logf(LogLevel level, TimePoint t, const char* component, const char* fmt, ...) {
+  Logger& logger = Logger::instance();
+  if (level < logger.level()) return;
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  logger.log(level, t, component, buf);
+}
+
+}  // namespace h2sim::sim

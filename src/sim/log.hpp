@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace h2sim::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log sink with a simulated-time prefix. Off by default so test
+/// and benchmark output stays clean; examples flip it on for narrative runs.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, TimePoint t, const char* component, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+/// printf-style convenience wrapper.
+void logf(LogLevel level, TimePoint t, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace h2sim::sim

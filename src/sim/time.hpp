@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace h2sim::sim {
+
+/// Simulated time, measured in integer nanoseconds since the start of the
+/// simulation. A strong type so that raw integers cannot be confused with
+/// timestamps, and so that durations and instants do not mix accidentally.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  static constexpr Duration millis_f(double m) {
+    return Duration{static_cast<std::int64_t>(m * 1e6)};
+  }
+  static constexpr Duration seconds_f(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant on the simulated clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_nanos(std::int64_t n) { return TimePoint{n}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{ns_ + d.count_nanos()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{ns_ - d.count_nanos()};
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanos(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.count_nanos();
+    return *this;
+  }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Formats a time point as e.g. "12.345ms" for logs and traces.
+std::string format_time(TimePoint t);
+std::string format_duration(Duration d);
+
+}  // namespace h2sim::sim

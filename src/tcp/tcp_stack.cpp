@@ -1,0 +1,62 @@
+#include "tcp/tcp_stack.hpp"
+
+#include "sim/log.hpp"
+
+namespace h2sim::tcp {
+
+TcpConnection& TcpStack::connect(net::NodeId dst, net::Port dst_port) {
+  const net::Port sport = next_ephemeral_++;
+  const auto iss = static_cast<std::uint32_t>(rng_.uniform(1u << 24));
+  auto conn = std::make_unique<TcpConnection>(loop_, cfg_, node_, sport, dst,
+                                              dst_port, send_fn_, iss);
+  TcpConnection& ref = *conn;
+  conns_[ConnKey{sport, dst, dst_port}] = std::move(conn);
+  ref.connect();
+  return ref;
+}
+
+void TcpStack::deliver(net::Packet&& p) {
+  if (p.dst != node_) return;  // not addressed to us (mis-wired topology)
+  const ConnKey key{p.tcp.dst_port, p.src, p.tcp.src_port};
+  auto it = conns_.find(key);
+  if (it != conns_.end()) {
+    it->second->handle_segment(p);
+    return;
+  }
+  if (p.tcp.syn() && !p.tcp.ack_flag()) {
+    auto lit = listeners_.find(p.tcp.dst_port);
+    if (lit != listeners_.end()) {
+      const auto iss = static_cast<std::uint32_t>(rng_.uniform(1u << 24));
+      auto conn = std::make_unique<TcpConnection>(loop_, cfg_, node_,
+                                                  p.tcp.dst_port, p.src,
+                                                  p.tcp.src_port, send_fn_, iss);
+      TcpConnection& ref = *conn;
+      conns_[key] = std::move(conn);
+      lit->second(ref);  // application installs callbacks
+      ref.handle_segment(p);
+      return;
+    }
+  }
+  sim::logf(sim::LogLevel::kDebug, loop_.now(), "tcp",
+            "node %u: no connection for %s", node_, p.describe().c_str());
+}
+
+TcpStats TcpStack::aggregate_stats() const {
+  TcpStats total;
+  for (const auto& [key, conn] : conns_) {
+    const TcpStats& s = conn->stats();
+    total.segments_sent += s.segments_sent;
+    total.segments_received += s.segments_received;
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+    total.retransmits_fast += s.retransmits_fast;
+    total.retransmits_rto += s.retransmits_rto;
+    total.rto_expirations += s.rto_expirations;
+    total.dup_acks_received += s.dup_acks_received;
+    total.dup_acks_sent += s.dup_acks_sent;
+    total.out_of_order_segments += s.out_of_order_segments;
+  }
+  return total;
+}
+
+}  // namespace h2sim::tcp

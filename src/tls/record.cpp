@@ -1,0 +1,40 @@
+#include "tls/record.hpp"
+
+namespace h2sim::tls {
+
+std::vector<std::uint8_t> serialize_record(const RecordHeader& h,
+                                           std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kRecordHeaderBytes + body.size());
+  out.push_back(static_cast<std::uint8_t>(h.type));
+  out.push_back(static_cast<std::uint8_t>(h.version >> 8));
+  out.push_back(static_cast<std::uint8_t>(h.version & 0xff));
+  const auto len = static_cast<std::uint16_t>(body.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len & 0xff));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+void RecordParser::feed(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<RecordParser::Record> RecordParser::next() {
+  if (buf_.size() < kRecordHeaderBytes) return std::nullopt;
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf_[3]) << 8 | buf_[4]);
+  if (buf_.size() < kRecordHeaderBytes + len) return std::nullopt;
+
+  Record r;
+  r.header.type = static_cast<ContentType>(buf_[0]);
+  r.header.version =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf_[1]) << 8 | buf_[2]);
+  r.header.length = len;
+  buf_.erase(buf_.begin(), buf_.begin() + kRecordHeaderBytes);
+  r.body.assign(buf_.begin(), buf_.begin() + len);
+  buf_.erase(buf_.begin(), buf_.begin() + len);
+  return r;
+}
+
+}  // namespace h2sim::tls

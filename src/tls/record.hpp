@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace h2sim::tls {
+
+/// TLS record content types — cleartext on the wire. The paper's adversary
+/// filters on `ssl.record.content_type == 23` to spot application data.
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+inline constexpr std::uint16_t kTlsVersion = 0x0303;  // TLS 1.2 on the wire
+inline constexpr std::size_t kRecordHeaderBytes = 5;
+inline constexpr std::size_t kMaxPlaintextPerRecord = 16384;
+/// AEAD tag appended to every protected record.
+inline constexpr std::size_t kAeadTagBytes = 16;
+
+struct RecordHeader {
+  ContentType type = ContentType::kApplicationData;
+  std::uint16_t version = kTlsVersion;
+  std::uint16_t length = 0;  // bytes following the 5-byte header
+};
+
+/// Serializes header + body into wire bytes.
+std::vector<std::uint8_t> serialize_record(const RecordHeader& h,
+                                           std::span<const std::uint8_t> body);
+
+/// Incremental record-stream parser. Feed raw TCP bytes in order; records pop
+/// out complete. Used both by the legitimate endpoints and by the adversary's
+/// traffic monitor (which can parse headers because they are never encrypted).
+class RecordParser {
+ public:
+  struct Record {
+    RecordHeader header;
+    std::vector<std::uint8_t> body;
+  };
+
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete record, if any.
+  std::optional<Record> next();
+
+  /// Bytes buffered but not yet forming a complete record.
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buf_;
+};
+
+}  // namespace h2sim::tls

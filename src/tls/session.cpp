@@ -1,0 +1,210 @@
+#include "tls/session.hpp"
+
+#include <algorithm>
+
+namespace h2sim::tls {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::size_t kClientHelloBytes = 512;
+constexpr std::size_t kServerFlightBytes = 2500;  // hello + cert + finished
+constexpr std::size_t kClientFinishedBytes = 64;
+
+}  // namespace
+
+TlsSession::TlsSession(tcp::TcpConnection& conn, Role role)
+    : conn_(conn), role_(role) {
+  // Both endpoints derive the same session key from the 4-tuple; stands in
+  // for the key agreement the real handshake would perform.
+  const std::uint64_t lo = std::min(conn.local_port(), conn.remote_port());
+  const std::uint64_t hi = std::max(conn.local_port(), conn.remote_port());
+  session_key_ = mix64((lo << 32) | (hi << 16) | 0x7153u);
+
+  tcp::TcpConnection::Callbacks cbs;
+  cbs.on_connected = [this] { on_tcp_connected(); };
+  cbs.on_data = [this](std::span<const std::uint8_t> b) { on_tcp_data(b); };
+  cbs.on_remote_close = [this] {
+    if (cbs_.on_peer_close) cbs_.on_peer_close();
+  };
+  cbs.on_aborted = [this](std::string_view reason) {
+    if (cbs_.on_aborted) cbs_.on_aborted(reason);
+  };
+  cbs.on_writable = [this] {
+    if (cbs_.on_writable) cbs_.on_writable();
+  };
+  conn_.set_callbacks(std::move(cbs));
+}
+
+void TlsSession::start() {
+  if (role_ == Role::kClient && conn_.established()) {
+    send_handshake_flight(kClientHelloBytes);
+  }
+}
+
+void TlsSession::on_tcp_connected() {
+  if (role_ == Role::kClient) send_handshake_flight(kClientHelloBytes);
+}
+
+void TlsSession::send_handshake_flight(std::size_t size) {
+  std::vector<std::uint8_t> body(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    body[i] = static_cast<std::uint8_t>(mix64(session_key_ + i) & 0xff);
+  }
+  send_record(ContentType::kHandshake, body);
+}
+
+void TlsSession::send_record(ContentType type, std::span<const std::uint8_t> body) {
+  RecordHeader h;
+  h.type = type;
+  h.length = static_cast<std::uint16_t>(body.size());
+  const std::vector<std::uint8_t> wire = serialize_record(h, body);
+  ++records_sent_;
+  conn_.send(wire);
+}
+
+std::uint64_t TlsSession::direction_key(bool encrypt) const {
+  // Client-to-server traffic uses key A, server-to-client key B; "encrypt"
+  // refers to this endpoint's sending direction.
+  const bool c2s = (role_ == Role::kClient) == encrypt;
+  return session_key_ ^ (c2s ? 0xa5a5a5a5a5a5a5a5ULL : 0x5a5a5a5a5a5a5a5aULL);
+}
+
+std::uint64_t TlsSession::keystream_word(std::uint64_t dir_key,
+                                         std::uint64_t counter) const {
+  return mix64(dir_key + 0x9e3779b97f4a7c15ULL * (counter + 1));
+}
+
+std::vector<std::uint8_t> TlsSession::protect(std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t key = direction_key(/*encrypt=*/true);
+  std::vector<std::uint8_t> out(plaintext.size() + kAeadTagBytes);
+  std::uint64_t off = encrypt_counter_;
+  for (std::size_t i = 0; i < plaintext.size(); ++i, ++off) {
+    const std::uint64_t word = keystream_word(key, off / 8);
+    out[i] = plaintext[i] ^ static_cast<std::uint8_t>(word >> ((off % 8) * 8));
+  }
+  // Keyed checksum over ciphertext in place of an AEAD tag.
+  std::uint64_t t1 = key ^ encrypt_counter_;
+  std::uint64_t t2 = ~key;
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    t1 = mix64(t1 + out[i]);
+    t2 = mix64(t2 ^ (t1 + i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[plaintext.size() + i] = static_cast<std::uint8_t>(t1 >> (i * 8));
+    out[plaintext.size() + 8 + i] = static_cast<std::uint8_t>(t2 >> (i * 8));
+  }
+  encrypt_counter_ += plaintext.size();
+  return out;
+}
+
+bool TlsSession::unprotect(std::span<const std::uint8_t> body,
+                           std::vector<std::uint8_t>& plaintext_out) {
+  if (body.size() < kAeadTagBytes) return false;
+  const std::size_t n = body.size() - kAeadTagBytes;
+  const std::uint64_t key = direction_key(/*encrypt=*/false);
+
+  std::uint64_t t1 = key ^ decrypt_counter_;
+  std::uint64_t t2 = ~key;
+  for (std::size_t i = 0; i < n; ++i) {
+    t1 = mix64(t1 + body[i]);
+    t2 = mix64(t2 ^ (t1 + i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    if (body[n + i] != static_cast<std::uint8_t>(t1 >> (i * 8))) return false;
+    if (body[n + 8 + i] != static_cast<std::uint8_t>(t2 >> (i * 8))) return false;
+  }
+
+  plaintext_out.resize(n);
+  std::uint64_t off = decrypt_counter_;
+  for (std::size_t i = 0; i < n; ++i, ++off) {
+    const std::uint64_t word = keystream_word(key, off / 8);
+    plaintext_out[i] = body[i] ^ static_cast<std::uint8_t>(word >> ((off % 8) * 8));
+  }
+  decrypt_counter_ += n;
+  return true;
+}
+
+void TlsSession::write(std::span<const std::uint8_t> plaintext) {
+  if (failed_) return;
+  std::size_t pos = 0;
+  while (pos < plaintext.size()) {
+    const std::size_t n = std::min(kMaxPlaintextPerRecord, plaintext.size() - pos);
+    const std::vector<std::uint8_t> body = protect(plaintext.subspan(pos, n));
+    send_record(ContentType::kApplicationData, body);
+    pos += n;
+  }
+}
+
+void TlsSession::close() {
+  if (!failed_ && conn_.established()) {
+    const std::uint8_t close_notify[2] = {1, 0};  // warning, close_notify
+    send_record(ContentType::kAlert, close_notify);
+  }
+  conn_.close();
+}
+
+void TlsSession::fail(std::string_view reason) {
+  if (failed_) return;
+  failed_ = true;
+  conn_.abort(reason);
+}
+
+void TlsSession::on_tcp_data(std::span<const std::uint8_t> bytes) {
+  parser_.feed(bytes);
+  while (auto rec = parser_.next()) {
+    ++records_received_;
+    handle_record(std::move(*rec));
+    if (failed_) return;
+  }
+}
+
+void TlsSession::handle_record(RecordParser::Record&& rec) {
+  switch (rec.header.type) {
+    case ContentType::kHandshake:
+      handle_handshake_record(rec);
+      return;
+    case ContentType::kApplicationData: {
+      std::vector<std::uint8_t> plaintext;
+      if (!unprotect(rec.body, plaintext)) {
+        fail("tls-bad-record-mac");
+        return;
+      }
+      if (cbs_.on_plaintext) cbs_.on_plaintext(std::span(plaintext));
+      return;
+    }
+    case ContentType::kAlert:
+      // close_notify; the TCP FIN that follows drives teardown.
+      return;
+    case ContentType::kChangeCipherSpec:
+      return;
+  }
+}
+
+void TlsSession::handle_handshake_record(const RecordParser::Record&) {
+  ++handshake_flights_seen_;
+  if (role_ == Role::kServer) {
+    if (handshake_flights_seen_ == 1) {
+      // ClientHello received: answer with the full server flight.
+      send_handshake_flight(kServerFlightBytes);
+    } else if (handshake_flights_seen_ == 2 && !established_) {
+      established_ = true;  // client Finished received
+      if (cbs_.on_established) cbs_.on_established();
+    }
+  } else {
+    if (handshake_flights_seen_ == 1 && !established_) {
+      send_handshake_flight(kClientFinishedBytes);
+      established_ = true;
+      if (cbs_.on_established) cbs_.on_established();
+    }
+  }
+}
+
+}  // namespace h2sim::tls

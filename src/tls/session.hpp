@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "tcp/tcp_connection.hpp"
+#include "tls/record.hpp"
+
+namespace h2sim::tls {
+
+/// Simulated TLS session over a TcpConnection.
+///
+/// Fidelity notes (documented substitution, see DESIGN.md): the handshake is
+/// a fixed-shape record exchange with realistic sizes, and record protection
+/// is a keystream XOR plus a 16-byte keyed checksum standing in for an AEAD
+/// tag. This is NOT cryptography — it exists so that (a) payload bytes on the
+/// wire differ from plaintext, (b) records carry the authentic +21-byte
+/// overhead the paper's size side-channel sees, and (c) the checksum detects
+/// any byte-stream corruption, turning the TLS layer into a running
+/// integrity check on the TCP implementation underneath.
+class TlsSession {
+ public:
+  enum class Role { kClient, kServer };
+
+  struct Callbacks {
+    std::function<void()> on_established;
+    std::function<void(std::span<const std::uint8_t>)> on_plaintext;
+    std::function<void()> on_peer_close;
+    std::function<void(std::string_view reason)> on_aborted;
+    /// Forwarded TCP send-buffer-drained signal (socket backpressure).
+    std::function<void()> on_writable;
+  };
+
+  /// Installs itself as the TCP connection's callback owner. The connection
+  /// must outlive the session.
+  TlsSession(tcp::TcpConnection& conn, Role role);
+
+  TlsSession(const TlsSession&) = delete;
+  TlsSession& operator=(const TlsSession&) = delete;
+
+  void set_callbacks(Callbacks cbs) { cbs_ = std::move(cbs); }
+
+  /// Client only: begins the handshake once TCP connects (automatic if TCP
+  /// is already established).
+  void start();
+
+  bool established() const { return established_; }
+
+  /// Protects and sends application plaintext. Each call produces one record
+  /// per `kMaxPlaintextPerRecord` chunk; callers control record boundaries by
+  /// the granularity of their writes (HTTP/2 writes one frame per call, so
+  /// frame sizes are visible as record sizes — exactly the side channel the
+  /// paper studies).
+  void write(std::span<const std::uint8_t> plaintext);
+
+  /// Graceful close (close_notify alert + TCP FIN).
+  void close();
+
+  tcp::TcpConnection& connection() { return conn_; }
+
+  std::uint64_t records_sent() const { return records_sent_; }
+  std::uint64_t records_received() const { return records_received_; }
+
+ private:
+  void on_tcp_connected();
+  void on_tcp_data(std::span<const std::uint8_t> bytes);
+  void handle_record(RecordParser::Record&& rec);
+  void handle_handshake_record(const RecordParser::Record& rec);
+  void send_record(ContentType type, std::span<const std::uint8_t> body);
+  void send_handshake_flight(std::size_t size);
+  std::vector<std::uint8_t> protect(std::span<const std::uint8_t> plaintext);
+  bool unprotect(std::span<const std::uint8_t> body,
+                 std::vector<std::uint8_t>& plaintext_out);
+  void fail(std::string_view reason);
+
+  // Deterministic keystream both endpoints derive identically.
+  std::uint64_t keystream_word(std::uint64_t direction_key, std::uint64_t counter) const;
+  std::uint64_t direction_key(bool encrypt) const;
+
+  tcp::TcpConnection& conn_;
+  Role role_;
+  Callbacks cbs_;
+  RecordParser parser_;
+  bool established_ = false;
+  bool failed_ = false;
+  int handshake_flights_seen_ = 0;
+  std::uint64_t session_key_ = 0;
+  std::uint64_t encrypt_counter_ = 0;
+  std::uint64_t decrypt_counter_ = 0;
+  std::uint64_t records_sent_ = 0;
+  std::uint64_t records_received_ = 0;
+};
+
+}  // namespace h2sim::tls

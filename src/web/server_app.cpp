@@ -1,0 +1,116 @@
+#include "web/server_app.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "http/message.hpp"
+#include "sim/log.hpp"
+
+namespace h2sim::web {
+
+ServerApp::ServerApp(sim::EventLoop& loop, const Website& site,
+                     h2::ServerConnection& conn, sim::Rng rng, ServerAppConfig cfg)
+    : loop_(loop), site_(site), conn_(conn), rng_(rng), cfg_(cfg) {
+  speed_factor_ = rng_.uniform_real(cfg_.speed_factor_lo, cfg_.speed_factor_hi);
+  h2::ServerConnection::Handlers handlers;
+  handlers.on_request = [this](std::uint32_t sid, const hpack::HeaderList& h) {
+    handle_request(sid, h);
+  };
+  handlers.on_stream_reset = [this](std::uint32_t sid, h2::ErrorCode) {
+    auto it = workers_.find(sid);
+    if (it != workers_.end()) {
+      it->second.timer.cancel();
+      workers_.erase(it);
+      ++workers_cancelled_;
+      start_next_queued();
+    }
+    std::erase_if(pending_, [sid](const auto& p) { return p.first == sid; });
+  };
+  handlers.on_connection_dead = [this](std::string_view reason) {
+    for (auto& [sid, w] : workers_) w.timer.cancel();
+    workers_.clear();
+    if (on_connection_dead) on_connection_dead(reason);
+  };
+  conn_.set_handlers(std::move(handlers));
+}
+
+sim::Duration ServerApp::jittered(sim::Duration base) {
+  const double f = rng_.uniform_real(1.0 - cfg_.interval_jitter,
+                                     1.0 + cfg_.interval_jitter) *
+                   speed_factor_;
+  return sim::Duration::nanos(
+      static_cast<std::int64_t>(static_cast<double>(base.count_nanos()) * f));
+}
+
+void ServerApp::handle_request(std::uint32_t stream_id,
+                               const hpack::HeaderList& headers) {
+  auto req = http::Request::from_h2_headers(headers);
+  if (!req) {
+    conn_.send_rst_stream(stream_id, h2::ErrorCode::kProtocolError);
+    return;
+  }
+  const WebObject* obj = site_.find(req->path);
+  ++requests_handled_;
+  if (!obj) {
+    conn_.respond_headers(stream_id, 404, {}, /*end_stream=*/true);
+    return;
+  }
+
+  stream_objects_[stream_id] = obj->label;
+  conn_.respond_headers(stream_id, 200,
+                        {{"content-length", std::to_string(obj->size)},
+                         {"content-type", obj->content_type}});
+
+  if (cfg_.serial_workers && !workers_.empty()) {
+    pending_.emplace_back(stream_id, obj);  // head-of-line blocking, HTTP/1.1-like
+    return;
+  }
+  start_worker(stream_id, obj);
+}
+
+void ServerApp::start_worker(std::uint32_t stream_id, const WebObject* obj) {
+  Worker w;
+  w.obj = obj;
+  const sim::Duration first = jittered(obj->dynamic ? cfg_.dynamic_first_byte_delay
+                                                    : cfg_.static_first_byte_delay);
+  w.timer = loop_.schedule_after(first, [this, stream_id] { produce_chunk(stream_id); });
+  workers_[stream_id] = std::move(w);
+}
+
+void ServerApp::start_next_queued() {
+  if (!cfg_.serial_workers || pending_.empty() || !workers_.empty()) return;
+  auto [sid, obj] = pending_.front();
+  pending_.pop_front();
+  start_worker(sid, obj);
+}
+
+void ServerApp::produce_chunk(std::uint32_t stream_id) {
+  auto it = workers_.find(stream_id);
+  if (it == workers_.end()) return;
+  Worker& w = it->second;
+
+  const std::size_t remaining = w.obj->size - w.produced;
+  const std::size_t n = std::min(cfg_.chunk_bytes, remaining);
+  // Deterministic filler content; the bytes are opaque on the wire anyway.
+  std::vector<std::uint8_t> chunk(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    chunk[i] = static_cast<std::uint8_t>((w.produced + i) * 131 + w.obj->size);
+  }
+  w.produced += n;
+  const bool last = w.produced >= w.obj->size;
+  conn_.send_body_chunk(stream_id, chunk, last);
+
+  if (last) {
+    workers_.erase(it);
+    start_next_queued();
+    return;
+  }
+  sim::Duration base = w.obj->dynamic ? cfg_.dynamic_chunk_interval
+                                      : cfg_.static_chunk_interval;
+  base = sim::Duration::nanos(static_cast<std::int64_t>(
+      static_cast<double>(base.count_nanos()) * w.obj->pace_factor));
+  const sim::Duration next = jittered(base);
+  w.timer = loop_.schedule_after(next, [this, stream_id] { produce_chunk(stream_id); });
+}
+
+}  // namespace h2sim::web

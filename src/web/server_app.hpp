@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "h2/server.hpp"
+#include "sim/random.hpp"
+#include "web/website.hpp"
+
+namespace h2sim::web {
+
+/// Server-application timing model: how the "threads" of the paper's
+/// Figure 3 produce object segments into the stream queues.
+struct ServerAppConfig {
+  std::size_t chunk_bytes = 1024;
+  /// Per-chunk production interval for static objects (disk/app read pace,
+  /// ~2.5 MB/s per stream).
+  sim::Duration static_chunk_interval = sim::Duration::micros(400);
+  /// Per-chunk interval for dynamic objects (template flushes of the survey
+  /// result page) — stretches the HTML's transmission window slightly.
+  sim::Duration dynamic_chunk_interval = sim::Duration::millis_f(1.5);
+  /// Multiplicative jitter on every interval, uniform in [1-j, 1+j].
+  double interval_jitter = 0.35;
+  sim::Duration static_first_byte_delay = sim::Duration::millis(4);
+  sim::Duration dynamic_first_byte_delay = sim::Duration::millis(12);
+  /// Per-connection service-speed factor range (server load varies between
+  /// downloads); drawn once per connection, multiplies every interval.
+  double speed_factor_lo = 0.55;
+  double speed_factor_hi = 1.45;
+  /// Single-threaded server: one response worker at a time, requests queued
+  /// FIFO (the "multiplexing disabled by default" HTTP/2 deployments of
+  /// Section V).
+  bool serial_workers = false;
+};
+
+/// Binds a Website to an HTTP/2 ServerConnection: every request spawns a
+/// worker that paces response chunks into the stream queue. RST_STREAM
+/// cancels the worker (and the connection has already flushed the queue) —
+/// the paper's Figure 6 server behaviour.
+class ServerApp {
+ public:
+  ServerApp(sim::EventLoop& loop, const Website& site, h2::ServerConnection& conn,
+            sim::Rng rng, ServerAppConfig cfg = {});
+
+  /// Object label served on each stream (ground truth for the evaluator;
+  /// includes streams serving duplicate copies after client reissues).
+  const std::map<std::uint32_t, std::string>& stream_objects() const {
+    return stream_objects_;
+  }
+
+  std::uint64_t requests_handled() const { return requests_handled_; }
+  std::uint64_t workers_cancelled() const { return workers_cancelled_; }
+
+  /// Optional notification when the connection dies.
+  std::function<void(std::string_view)> on_connection_dead;
+
+ private:
+  struct Worker {
+    const WebObject* obj = nullptr;
+    std::size_t produced = 0;
+    sim::TimerHandle timer;
+  };
+
+  void handle_request(std::uint32_t stream_id, const hpack::HeaderList& headers);
+  void produce_chunk(std::uint32_t stream_id);
+  sim::Duration jittered(sim::Duration base);
+
+  sim::EventLoop& loop_;
+  const Website& site_;
+  h2::ServerConnection& conn_;
+  sim::Rng rng_;
+  ServerAppConfig cfg_;
+
+  void start_worker(std::uint32_t stream_id, const WebObject* obj);
+  void start_next_queued();
+
+  double speed_factor_ = 1.0;
+  std::map<std::uint32_t, Worker> workers_;
+  std::deque<std::pair<std::uint32_t, const WebObject*>> pending_;  // serial mode
+  std::map<std::uint32_t, std::string> stream_objects_;
+  std::uint64_t requests_handled_ = 0;
+  std::uint64_t workers_cancelled_ = 0;
+};
+
+}  // namespace h2sim::web

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace h2sim::web {
+
+/// One retrievable object. `dynamic` objects (the survey-result HTML) are
+/// generated in slow template flushes by the server app; static objects
+/// stream at disk speed.
+struct WebObject {
+  std::string path;
+  std::string content_type = "application/octet-stream";
+  std::size_t size = 0;
+  bool dynamic = false;
+  /// Multiplier on the server's per-chunk production interval for this
+  /// object (image decode/IO paths are slower than cached JS, for example).
+  double pace_factor = 1.0;
+  std::string label;  // "html", "I1".."I8" (party emblems), "pre3", "filler7"
+};
+
+/// When a request step may be issued relative to page-load progress.
+enum class Gate {
+  kNone,            // pure schedule from navigation start
+  kHtmlFirstByte,   // discovered while parsing the streaming HTML
+  kHtmlComplete,    // triggered by script execution after the HTML finishes
+};
+
+/// One entry in the page-load request sequence. `path` may be the
+/// placeholder "EMBLEM_k": the browser substitutes the party image chosen by
+/// the user's survey result (ground-truth permutation).
+struct RequestStep {
+  std::string path;
+  sim::Duration gap_from_prev = sim::Duration::zero();
+  Gate gate = Gate::kNone;
+  /// Per-step multiplicative noise range on the gap. Mechanical gaps (parser
+  /// discovery, script execution) vary a little; human think-time gaps vary
+  /// a lot.
+  double noise_lo = 0.85;
+  double noise_hi = 1.15;
+};
+
+/// A website: object store plus the canonical page-load request schedule.
+class Website {
+ public:
+  void add_object(WebObject obj);
+  const WebObject* find(std::string_view path) const;
+  const WebObject* find_by_label(std::string_view label) const;
+
+  std::vector<RequestStep> schedule;
+  std::string html_path;
+  /// Party emblem paths indexed by party id 0..7 (fixed size per party).
+  std::vector<std::string> emblem_paths;
+
+  const std::map<std::string, WebObject, std::less<>>& objects() const {
+    return objects_;
+  }
+
+ private:
+  std::map<std::string, WebObject, std::less<>> objects_;
+};
+
+/// Parameters of the isidewith.com-like survey site of Section V.
+struct IsidewithConfig {
+  std::size_t html_size = 9500;  // the paper's object of interest (6th GET)
+  /// Eight party emblems, 5 KB..16 KB, pairwise separated well beyond the
+  /// predictor tolerance.
+  std::array<std::size_t, 8> emblem_sizes = {5200,  6700,  8600,  9900,
+                                             11400, 12800, 14300, 15800};
+  int pre_objects = 5;     // requests before the result HTML (it is the 6th)
+  int filler_objects = 39; // embedded page assets besides the 8 emblems
+  /// Fillers requested between the HTML and the emblem burst.
+  int head_fillers = 12;
+};
+
+/// Builds the target website: 5 pre-objects, the dynamic result HTML, 47
+/// embedded objects (39 fillers + 8 emblems) with the request inter-arrival
+/// gaps of Table II.
+Website make_isidewith_site(const IsidewithConfig& cfg = {});
+
+/// A tiny two-object site used by the mechanics benches (Figures 1-4).
+Website make_two_object_site(std::size_t size1, std::size_t size2);
+
+}  // namespace h2sim::web

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "analysis/boundary.hpp"
+#include "analysis/dom.hpp"
+#include "analysis/predictor.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/trace.hpp"
+
+namespace h2sim::analysis {
+namespace {
+
+ServerWireEvent data_event(std::uint32_t sid, std::size_t bytes, bool end = false,
+                           double t_ms = 0) {
+  ServerWireEvent e;
+  e.time = sim::TimePoint::from_nanos(static_cast<std::int64_t>(t_ms * 1e6));
+  e.stream_id = sid;
+  e.object = "obj" + std::to_string(sid);
+  e.data_bytes = bytes;
+  e.is_data = true;
+  e.end_stream = end;
+  return e;
+}
+
+TEST(Dom, ContiguousTransmissionIsZero) {
+  WireLog log;
+  for (int i = 0; i < 5; ++i) log.add(data_event(1, 1000, i == 4));
+  const DomResult r = degree_of_multiplexing(log, 1);
+  EXPECT_EQ(r.dom, 0.0);
+  EXPECT_EQ(r.runs, 1u);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.total_bytes, 5000u);
+}
+
+TEST(Dom, PerfectAlternationApproachesOne) {
+  WireLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.add(data_event(1, 1000, i == 9));
+    log.add(data_event(3, 1000, i == 9));
+  }
+  const DomResult r = degree_of_multiplexing(log, 1);
+  EXPECT_DOUBLE_EQ(r.dom, 1.0 - 1000.0 / 10000.0);
+  EXPECT_EQ(r.runs, 10u);
+}
+
+TEST(Dom, LargestRunGoverns) {
+  WireLog log;
+  // Stream 1: run of 3, then foreign, then run of 2.
+  log.add(data_event(1, 1000));
+  log.add(data_event(1, 1000));
+  log.add(data_event(1, 1000));
+  log.add(data_event(3, 500));
+  log.add(data_event(1, 1000));
+  log.add(data_event(1, 1000, true));
+  const DomResult r = degree_of_multiplexing(log, 1);
+  EXPECT_DOUBLE_EQ(r.dom, 1.0 - 3000.0 / 5000.0);
+  EXPECT_EQ(r.runs, 2u);
+}
+
+TEST(Dom, ControlFramesDoNotBreakRuns) {
+  WireLog log;
+  log.add(data_event(1, 1000));
+  ServerWireEvent ctrl;
+  ctrl.stream_id = 3;
+  ctrl.is_data = false;  // HEADERS/WINDOW_UPDATE etc.
+  log.add(ctrl);
+  log.add(data_event(1, 1000, true));
+  EXPECT_EQ(degree_of_multiplexing(log, 1).dom, 0.0);
+}
+
+TEST(Dom, ObjectSummaryAcrossCopies) {
+  WireLog log;
+  // Copy 1 (stream 1): interleaved. Copy 2 (stream 5): clean.
+  log.add(data_event(1, 1000));
+  log.add(data_event(3, 1000));
+  log.add(data_event(1, 1000, true));
+  log.add(data_event(5, 2000, true));
+  // Both stream 1 and 5 carry the same object label.
+  WireLog relabeled;
+  for (auto ev : log.events()) {
+    if (ev.stream_id == 1 || ev.stream_id == 5) ev.object = "html";
+    relabeled.add(ev);
+  }
+  const ObjectDom od = object_dom(relabeled, "html");
+  EXPECT_EQ(od.copies.size(), 2u);
+  EXPECT_GT(od.primary_dom, 0.0);
+  EXPECT_FALSE(od.primary_serialized);
+  EXPECT_TRUE(od.any_copy_serialized);
+  EXPECT_EQ(od.min_dom, 0.0);
+}
+
+TEST(Dom, MissingObjectIsFullyMultiplexedByConvention) {
+  WireLog log;
+  const ObjectDom od = object_dom(log, "ghost");
+  EXPECT_EQ(od.min_dom, 1.0);
+  EXPECT_FALSE(od.any_copy_serialized);
+}
+
+// --- Boundary detection ---
+
+RecordObs rec(double t_ms, std::size_t body,
+              net::Direction dir = net::Direction::kServerToClient) {
+  RecordObs r;
+  r.time = sim::TimePoint::from_nanos(static_cast<std::int64_t>(t_ms * 1e6));
+  r.dir = dir;
+  r.type = tls::ContentType::kApplicationData;
+  r.body_len = body;
+  return r;
+}
+
+TEST(Boundary, SplitsOnSubFullRecords) {
+  PacketTrace trace;
+  // Object A: 3 full (1049) + tail 500; object B: 2 full + tail 300.
+  for (int i = 0; i < 3; ++i) trace.add(rec(i, 1049));
+  trace.add(rec(3, 500));
+  for (int i = 0; i < 2; ++i) trace.add(rec(4 + i, 1049));
+  trace.add(rec(6, 300));
+  const auto objs = detect_objects(trace);
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0].size_estimate, 3 * 1024 + 475u);
+  EXPECT_TRUE(objs[0].ended_by_delimiter);
+  EXPECT_EQ(objs[1].size_estimate, 2 * 1024 + 275u);
+}
+
+TEST(Boundary, IgnoresControlChatterAndDirection) {
+  PacketTrace trace;
+  trace.add(rec(0, 29));                                      // WINDOW_UPDATE
+  trace.add(rec(0.5, 300, net::Direction::kClientToServer));  // a GET
+  trace.add(rec(1, 1049));
+  trace.add(rec(2, 500));
+  const auto objs = detect_objects(trace);
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].records, 2u);
+}
+
+TEST(Boundary, IdleGapSplitsWithoutDelimiter) {
+  PacketTrace trace;
+  trace.add(rec(0, 1049));
+  trace.add(rec(1, 1049));
+  trace.add(rec(500, 1049));  // long silence before
+  trace.add(rec(501, 400));
+  const auto objs = detect_objects(trace);
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_FALSE(objs[0].ended_by_delimiter);
+  EXPECT_TRUE(objs[1].ended_by_delimiter);
+}
+
+TEST(Boundary, EmptyTraceYieldsNothing) {
+  PacketTrace trace;
+  EXPECT_TRUE(detect_objects(trace).empty());
+}
+
+// --- Predictor ---
+
+TEST(Predictor, IdentifiesWithinTolerance) {
+  SizeIdentityDb db;
+  db.add("party0", 5200);
+  db.add("party1", 6700);
+  auto m = db.identify(5250);  // ~1% off
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->label, "party0");
+  EXPECT_FALSE(db.identify(6000).has_value());  // between entries
+}
+
+TEST(Predictor, PicksNearestWhenMultipleMatch) {
+  SizeIdentityDb db;
+  db.set_tolerance(0.5);
+  db.add("a", 1000);
+  db.add("b", 1100);
+  EXPECT_EQ(db.identify(1090)->label, "b");
+}
+
+std::vector<DetectedObject> detections_of(std::initializer_list<std::size_t> sizes) {
+  std::vector<DetectedObject> dets;
+  for (std::size_t s : sizes) {
+    DetectedObject d;
+    d.size_estimate = s;
+    d.ended_by_delimiter = true;
+    dets.push_back(d);
+  }
+  return dets;
+}
+
+TEST(Predictor, SequenceIsLongestDistinctRun) {
+  SizeIdentityDb db;
+  db.add("party0", 5200);
+  db.add("party1", 6700);
+  db.add("party2", 8600);
+  const auto pred =
+      predict_sequence(detections_of({8600, 123456, 5200, 5200, 6700}), db);
+  // The duplicate 5200 splits the runs; the latest distinct run wins.
+  ASSERT_EQ(pred.ranking.size(), 2u);
+  EXPECT_EQ(pred.ranking[0], "party0");
+  EXPECT_EQ(pred.ranking[1], "party1");
+  ASSERT_EQ(pred.unmatched.size(), 1u);
+  EXPECT_EQ(pred.unmatched[0], 123456u);
+}
+
+TEST(Predictor, JunkPrefixDoesNotShiftTheBurst) {
+  // The disrupt-phase chaos can produce coincidental emblem-sized junk ahead
+  // of the real burst; the sliding window must still lock onto the full
+  // burst.
+  SizeIdentityDb db;
+  db.add("a", 1000);
+  db.add("b", 2000);
+  db.add("c", 3000);
+  db.add("d", 4000);
+  const auto pred = predict_sequence(
+      detections_of({3000, 4000,  // junk "c d"
+                     1000, 2000, 3000, 4000}),  // the real burst "a b c d"
+      db, 4);
+  ASSERT_EQ(pred.ranking.size(), 4u);
+  EXPECT_EQ(pred.ranking[0], "a");
+  EXPECT_EQ(pred.ranking[1], "b");
+  EXPECT_EQ(pred.ranking[2], "c");
+  EXPECT_EQ(pred.ranking[3], "d");
+}
+
+// --- Stats helpers ---
+
+TEST(Stats, MeanStddevMedian) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percent_true({true, false, true, true}), 75.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Trace, DirectionFilters) {
+  PacketTrace trace;
+  trace.add(rec(0, 100));
+  trace.add(rec(1, 100, net::Direction::kClientToServer));
+  EXPECT_EQ(trace.in_direction(net::Direction::kServerToClient).size(), 1u);
+  EXPECT_EQ(trace.count_appdata(net::Direction::kClientToServer, 50), 1u);
+  EXPECT_EQ(trace.count_appdata(net::Direction::kClientToServer, 200), 0u);
+}
+
+TEST(WireLogHelpers, StreamsForObject) {
+  WireLog log;
+  auto ev = data_event(1, 100);
+  ev.object = "x";
+  log.add(ev);
+  ev = data_event(5, 100);
+  ev.object = "x";
+  log.add(ev);
+  ev = data_event(1, 100);
+  ev.object = "x";
+  log.add(ev);
+  const auto streams = log.streams_for("x");
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0], 1u);
+  EXPECT_EQ(streams[1], 5u);
+}
+
+}  // namespace
+}  // namespace h2sim::analysis

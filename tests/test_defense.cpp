@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "defense/defenses.hpp"
+#include "experiment/harness.hpp"
+
+namespace h2sim::defense {
+namespace {
+
+TEST(Padding, RoundsSizesUp) {
+  web::Website site = web::make_two_object_site(1000, 8192);
+  const web::Website padded = pad_site(site, 4096);
+  EXPECT_EQ(padded.find("/o1")->size, 4096u);
+  EXPECT_EQ(padded.find("/o2")->size, 8192u);  // already aligned
+  EXPECT_EQ(padded.schedule.size(), site.schedule.size());
+}
+
+TEST(Padding, OverheadComputed) {
+  const web::Website site = web::make_two_object_site(1000, 1000);
+  const web::Website padded = pad_site(site, 4096);
+  EXPECT_NEAR(padding_overhead(site, padded), (8192.0 / 2000.0) - 1.0, 1e-9);
+}
+
+TEST(Padding, CollapsesEmblemSizeClasses) {
+  const web::Website site = web::make_isidewith_site();
+  EXPECT_EQ(distinguishable_emblems(site), 8);  // the attack's premise
+  const web::Website p16 = pad_site(site, 16384);
+  // Everything in 5-16 KB pads to 16384: no emblem distinguishable.
+  EXPECT_EQ(distinguishable_emblems(p16), 0);
+  // Mild padding keeps most classes apart.
+  const web::Website p1 = pad_site(site, 512);
+  EXPECT_GE(distinguishable_emblems(p1), 6);
+}
+
+TEST(Dummies, AddObjectsAndSteps) {
+  web::Website site = web::make_isidewith_site();
+  const std::size_t objects_before = site.objects().size();
+  const std::size_t steps_before = site.schedule.size();
+  sim::Rng rng(3);
+  DummyConfig cfg;
+  cfg.count = 6;
+  inject_dummies(site, rng, cfg);
+  EXPECT_EQ(site.objects().size(), objects_before + 6);
+  EXPECT_EQ(site.schedule.size(), steps_before + 6);
+  // Dummies must be resolvable so the server can actually serve them.
+  for (const auto& step : site.schedule) {
+    if (step.path.rfind("EMBLEM_", 0) == 0) continue;
+    EXPECT_NE(site.find(step.path), nullptr) << step.path;
+  }
+}
+
+TEST(DefenseIntegration, HeavyPaddingDefeatsIdentification) {
+  experiment::TrialConfig cfg;
+  cfg.seed = 99;
+  cfg.attack = experiment::full_attack_config();
+  cfg.defense.pad_quantum = 16384;
+  const auto r = experiment::run_trial(cfg);
+  // Serialization still works (transport-level), but identification dies:
+  // every emblem is 16384 bytes.
+  int correct = 0;
+  for (int j = 1; j <= 8; ++j) {
+    if (r.success[static_cast<std::size_t>(j)]) ++correct;
+  }
+  EXPECT_LE(correct, 2);
+}
+
+TEST(DefenseIntegration, DummiesStillDeliverPage) {
+  experiment::TrialConfig cfg;
+  cfg.seed = 100;
+  cfg.attack.enabled = false;
+  cfg.defense.dummy_count = 8;
+  const auto r = experiment::run_trial(cfg);
+  EXPECT_TRUE(r.page_complete) << r.failure_reason;
+  EXPECT_EQ(r.gets_counted, 53 + 8);
+}
+
+}  // namespace
+}  // namespace h2sim::defense

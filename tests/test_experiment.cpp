@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "experiment/harness.hpp"
+#include "experiment/table_printer.hpp"
+
+namespace h2sim::experiment {
+namespace {
+
+TEST(AttackConfigs, FullAttackMatchesPaperParameters) {
+  const attack::AttackConfig a = full_attack_config();
+  EXPECT_TRUE(a.enabled);
+  EXPECT_EQ(a.jitter_phase1.to_millis(), 50.0);   // §V phase 1
+  EXPECT_EQ(a.trigger_get_index, 6);              // the HTML GET
+  EXPECT_EQ(a.throttle_bps, 800e6);               // §IV-C operating point
+  EXPECT_EQ(a.drop_rate, 0.8);                    // §IV-D
+  EXPECT_EQ(a.drop_duration.to_seconds(), 6.0);
+  EXPECT_EQ(a.jitter_phase2.to_millis(), 80.0);   // image-burst spacing
+}
+
+TEST(AttackConfigs, JitterOnlyNeverTriggers) {
+  const attack::AttackConfig a = jitter_only_config(sim::Duration::millis(25));
+  EXPECT_EQ(a.trigger_get_index, 0);
+  EXPECT_FALSE(a.use_throttle);
+  EXPECT_FALSE(a.use_drop);
+  EXPECT_EQ(a.jitter_phase1.to_millis(), 25.0);
+}
+
+TEST(AttackConfigs, ThrottleFromStart) {
+  const attack::AttackConfig a =
+      jitter_throttle_config(sim::Duration::millis(50), 5e8);
+  EXPECT_TRUE(a.use_throttle);
+  EXPECT_TRUE(a.throttle_from_start);
+  EXPECT_EQ(a.throttle_bps, 5e8);
+}
+
+TEST(AttackConfigs, SingleTargetKeepsStagedPipeline) {
+  const attack::AttackConfig a = single_target_attack_config(21);
+  EXPECT_EQ(a.trigger_get_index, 21);
+  EXPECT_TRUE(a.use_drop);
+  EXPECT_GT(a.jitter_phase1.count_nanos(), 0);  // spacing stays on
+}
+
+TEST(GetIndices, MatchSiteLayout) {
+  web::IsidewithConfig site;
+  EXPECT_EQ(html_get_index(site), 6);
+  EXPECT_EQ(emblem_get_index(site, 0), 19);
+  // Custom layout shifts indices coherently.
+  site.pre_objects = 3;
+  site.head_fillers = 5;
+  EXPECT_EQ(html_get_index(site), 4);
+  EXPECT_EQ(emblem_get_index(site, 2), 4 + 5 + 3);
+}
+
+TEST(CustomSite, HarnessRunsWithSiteBuilder) {
+  TrialConfig cfg;
+  cfg.seed = 11;
+  cfg.attack.enabled = false;
+  cfg.site_builder = [] { return web::make_two_object_site(30000, 50000); };
+  bool saw_records = false;
+  cfg.trace_inspector = [&](const analysis::PacketTrace& t) {
+    saw_records = !t.records().empty();
+  };
+  const TrialResult r = run_trial(cfg);
+  EXPECT_TRUE(saw_records);
+  // No isidewith structure: evaluation is inspector-only.
+  EXPECT_TRUE(r.interest.empty());
+  EXPECT_TRUE(r.page_complete);
+}
+
+TEST(TablePrinter, Formatting) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::pct(42.4, 0), "42%");
+  EXPECT_EQ(TablePrinter::pct(99.94, 1), "99.9%");
+}
+
+TEST(TrialResult, WireRetransmissionsSumsComponents) {
+  TrialResult r;
+  r.tcp_retransmits = 7;
+  r.browser_reissues = 3;
+  EXPECT_EQ(r.wire_retransmissions(), 10u);
+}
+
+}  // namespace
+}  // namespace h2sim::experiment

@@ -1,0 +1,395 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "h2_fixture.hpp"
+#include "http/message.hpp"
+
+namespace h2sim::h2 {
+namespace {
+
+using h2sim::testing::H2Pair;
+
+hpack::HeaderList get(const std::string& path) {
+  http::Request r;
+  r.authority = "example.com";
+  r.path = path;
+  return r.to_h2_headers();
+}
+
+TEST(H2Connection, SettingsHandshakeCompletes) {
+  H2Pair pair;
+  pair.run(1);
+  ASSERT_TRUE(pair.client);
+  ASSERT_TRUE(pair.server);
+  EXPECT_TRUE(pair.client->ready());
+  EXPECT_TRUE(pair.server->ready());
+  EXPECT_FALSE(pair.client->dead());
+}
+
+TEST(H2Connection, RequestResponseRoundTrip) {
+  H2Pair pair;
+  pair.run(1);
+
+  std::vector<std::uint8_t> body;
+  bool ended = false;
+  h2::ClientConnection::Handlers ch;
+  ch.on_response_data = [&](std::uint32_t, std::span<const std::uint8_t> b, bool end) {
+    body.insert(body.end(), b.begin(), b.end());
+    ended |= end;
+  };
+  pair.client->set_handlers(std::move(ch));
+
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList& headers) {
+    auto req = http::Request::from_h2_headers(headers);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->path, "/hello");
+    pair.server->respond_headers(sid, 200);
+    std::vector<std::uint8_t> data(5000, 0x5a);
+    pair.server->send_body_chunk(sid, data, true);
+  };
+  pair.server->set_handlers(std::move(sh));
+
+  const std::uint32_t sid = pair.client->send_request(get("/hello"));
+  EXPECT_EQ(sid, 1u);
+  pair.run(5);
+  EXPECT_EQ(body.size(), 5000u);
+  EXPECT_TRUE(ended);
+}
+
+TEST(H2Connection, StreamIdsIncreaseByTwo) {
+  H2Pair pair;
+  pair.run(1);
+  EXPECT_EQ(pair.client->send_request(get("/a")), 1u);
+  EXPECT_EQ(pair.client->send_request(get("/b")), 3u);
+  EXPECT_EQ(pair.client->send_request(get("/c")), 5u);
+}
+
+TEST(H2Connection, RoundRobinInterleavesStreams) {
+  h2::ConnectionConfig scfg;
+  scfg.scheduler = h2::SchedulerKind::kRoundRobin;
+  scfg.data_chunk_size = 1000;
+  H2Pair pair(scfg);
+  pair.run(1);
+
+  std::vector<std::uint32_t> data_order;
+  h2::ClientConnection::Handlers ch;
+  ch.on_response_data = [&](std::uint32_t sid, std::span<const std::uint8_t>, bool) {
+    data_order.push_back(sid);
+  };
+  pair.client->set_handlers(std::move(ch));
+
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    pair.server->respond_headers(sid, 200);
+    // Enqueue everything at once so the scheduler decides interleaving.
+    pair.server->send_body_chunk(sid, std::vector<std::uint8_t>(8000, 1), true);
+  };
+  pair.server->set_handlers(std::move(sh));
+
+  pair.client->send_request(get("/a"));
+  pair.client->send_request(get("/b"));
+  pair.run(5);
+
+  // Both streams' frames should alternate at least once.
+  bool interleaved = false;
+  for (std::size_t i = 2; i < data_order.size(); ++i) {
+    if (data_order[i] != data_order[i - 1]) interleaved = true;
+  }
+  EXPECT_TRUE(interleaved);
+}
+
+TEST(H2Connection, SequentialSchedulerFinishesFirstStreamFirst) {
+  h2::ConnectionConfig scfg;
+  scfg.scheduler = h2::SchedulerKind::kSequential;
+  scfg.data_chunk_size = 1000;
+  H2Pair pair(scfg);
+  pair.run(1);
+
+  std::vector<std::uint32_t> data_order;
+  h2::ClientConnection::Handlers ch;
+  ch.on_response_data = [&](std::uint32_t sid, std::span<const std::uint8_t>, bool) {
+    data_order.push_back(sid);
+  };
+  pair.client->set_handlers(std::move(ch));
+
+  int pending = 0;
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    pair.server->respond_headers(sid, 200);
+    ++pending;
+    if (pending == 2) {
+      // Enqueue both bodies only once both requests are in, so the
+      // scheduler genuinely chooses.
+      pair.server->send_body_chunk(1, std::vector<std::uint8_t>(8000, 1), true);
+      pair.server->send_body_chunk(3, std::vector<std::uint8_t>(8000, 2), true);
+    }
+  };
+  pair.server->set_handlers(std::move(sh));
+
+  pair.client->send_request(get("/a"));
+  pair.client->send_request(get("/b"));
+  pair.run(5);
+
+  ASSERT_FALSE(data_order.empty());
+  // All frames of stream 1 strictly precede all frames of stream 3.
+  bool seen3 = false;
+  for (std::uint32_t sid : data_order) {
+    if (sid == 3) seen3 = true;
+    if (seen3) EXPECT_EQ(sid, 3u);
+  }
+}
+
+TEST(H2Connection, RstStreamFlushesServerQueue) {
+  h2::ConnectionConfig scfg;
+  scfg.data_chunk_size = 1000;
+  // Tiny watermark so the queue drains slowly and the reset catches data
+  // still queued.
+  scfg.tcp_send_watermark = 2000;
+  H2Pair pair(scfg);
+  pair.run(1);
+
+  std::size_t received = 0;
+  h2::ClientConnection::Handlers ch;
+  ch.on_response_data = [&](std::uint32_t, std::span<const std::uint8_t> b, bool) {
+    received += b.size();
+  };
+  pair.client->set_handlers(std::move(ch));
+
+  bool server_saw_reset = false;
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    pair.server->respond_headers(sid, 200);
+    pair.server->send_body_chunk(sid, std::vector<std::uint8_t>(500000, 1), true);
+  };
+  sh.on_stream_reset = [&](std::uint32_t, h2::ErrorCode) { server_saw_reset = true; };
+  pair.server->set_handlers(std::move(sh));
+
+  const std::uint32_t sid = pair.client->send_request(get("/big"));
+  pair.run(0.2);
+  pair.client->cancel(sid);
+  pair.run(5);
+  EXPECT_TRUE(server_saw_reset);
+  EXPECT_LT(received, 500000u);  // the flush prevented full delivery
+  EXPECT_FALSE(pair.client->dead());
+  EXPECT_FALSE(pair.server->dead());
+}
+
+TEST(H2Connection, PingEchoed) {
+  H2Pair pair;
+  pair.run(1);
+  pair.client->send_ping();
+  pair.run(1);
+  EXPECT_GE(pair.client->stats().frames_received, 1u);
+  EXPECT_FALSE(pair.client->dead());
+}
+
+TEST(H2Connection, LargeHeadersUseContinuation) {
+  H2Pair pair;
+  pair.run(1);
+
+  hpack::HeaderList got;
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList& headers) {
+    got = headers;
+    pair.server->respond_headers(sid, 200, {}, true);
+  };
+  pair.server->set_handlers(std::move(sh));
+
+  hpack::HeaderList headers = get("/big-headers");
+  // ~40 KB of uncompressible header data: must exceed 16384 after HPACK.
+  for (int i = 0; i < 40; ++i) {
+    std::string value;
+    for (int j = 0; j < 1000; ++j) {
+      value.push_back(static_cast<char>('A' + (i * 7 + j * 13) % 26));
+    }
+    headers.push_back({"x-custom-" + std::to_string(i), value});
+  }
+  pair.client->send_request(headers);
+  pair.run(5);
+  EXPECT_EQ(got.size(), headers.size());
+  EXPECT_EQ(got, headers);
+}
+
+TEST(H2Connection, ServerPushDeliversPromise) {
+  h2::ConnectionConfig ccfg;
+  ccfg.enable_push = true;
+  H2Pair pair(h2::ConnectionConfig{}, ccfg);
+  pair.run(1);
+
+  std::uint32_t promised_id = 0;
+  hpack::HeaderList promised_headers;
+  std::size_t pushed_bytes = 0;
+  h2::ClientConnection::Handlers ch;
+  ch.on_push_promise = [&](std::uint32_t, std::uint32_t promised,
+                           const hpack::HeaderList& h) {
+    promised_id = promised;
+    promised_headers = h;
+  };
+  ch.on_response_data = [&](std::uint32_t sid, std::span<const std::uint8_t> b, bool) {
+    if (sid == promised_id) pushed_bytes += b.size();
+  };
+  pair.client->set_handlers(std::move(ch));
+
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    const std::uint32_t p = pair.server->push(sid, get("/pushed.css"));
+    EXPECT_NE(p, 0u);
+    pair.server->respond_headers(p, 200);
+    pair.server->send_body_chunk(p, std::vector<std::uint8_t>(1234, 7), true);
+    pair.server->respond_headers(sid, 200, {}, true);
+  };
+  pair.server->set_handlers(std::move(sh));
+
+  pair.client->send_request(get("/index.html"));
+  pair.run(5);
+  EXPECT_EQ(promised_id, 2u);
+  EXPECT_EQ(pushed_bytes, 1234u);
+  auto req = http::Request::from_h2_headers(promised_headers);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->path, "/pushed.css");
+}
+
+TEST(H2Connection, PushRefusedWhenDisabled) {
+  H2Pair pair;  // client default: push disabled
+  pair.run(1);
+  h2::ServerConnection::Handlers sh;
+  std::uint32_t push_result = 99;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    push_result = pair.server->push(sid, get("/nope.css"));
+    pair.server->respond_headers(sid, 200, {}, true);
+  };
+  pair.server->set_handlers(std::move(sh));
+  pair.client->send_request(get("/index.html"));
+  pair.run(5);
+  EXPECT_EQ(push_result, 0u);  // SETTINGS_ENABLE_PUSH=0 honoured
+  EXPECT_FALSE(pair.client->dead());
+}
+
+TEST(H2Connection, GoawaySurfacesToClient) {
+  H2Pair pair;
+  pair.run(1);
+  bool goaway = false;
+  h2::ClientConnection::Handlers ch;
+  ch.on_goaway = [&](const GoawayPayload& g) {
+    goaway = true;
+    EXPECT_EQ(g.error, ErrorCode::kNoError);
+  };
+  pair.client->set_handlers(std::move(ch));
+  pair.server->send_goaway(ErrorCode::kNoError, "bye");
+  pair.run(1);
+  EXPECT_TRUE(goaway);
+}
+
+TEST(H2Connection, FlowControlWindowLimitsBurst) {
+  h2::ConnectionConfig scfg;
+  scfg.data_chunk_size = 16384;
+  h2::ConnectionConfig ccfg;
+  ccfg.initial_window_size = 20000;      // tight stream window
+  ccfg.connection_window_bonus = 1 << 20;
+  H2Pair pair(scfg, ccfg);
+  pair.run(1);
+
+  std::size_t received = 0;
+  h2::ClientConnection::Handlers ch;
+  ch.on_response_data = [&](std::uint32_t, std::span<const std::uint8_t> b, bool) {
+    received += b.size();
+  };
+  pair.client->set_handlers(std::move(ch));
+
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    pair.server->respond_headers(sid, 200);
+    pair.server->send_body_chunk(sid, std::vector<std::uint8_t>(100000, 3), true);
+  };
+  pair.server->set_handlers(std::move(sh));
+  pair.client->send_request(get("/windowed"));
+  pair.run(10);
+  // Delivery completes because the client's batched WINDOW_UPDATEs keep the
+  // 20 KB window refilled.
+  EXPECT_EQ(received, 100000u);
+}
+
+TEST(H2Connection, WeightedSchedulerFavoursHeavyStream) {
+  h2::ConnectionConfig scfg;
+  scfg.scheduler = h2::SchedulerKind::kWeighted;
+  scfg.data_chunk_size = 1000;
+  scfg.tcp_send_watermark = 4000;  // force scheduling pressure
+  H2Pair pair(scfg);
+  pair.run(1);
+
+  std::map<std::uint32_t, int> frames;
+  std::vector<std::uint32_t> completion_order;
+  h2::ClientConnection::Handlers ch;
+  ch.on_response_data = [&](std::uint32_t sid, std::span<const std::uint8_t>,
+                            bool end) {
+    ++frames[sid];
+    if (end) completion_order.push_back(sid);
+  };
+  pair.client->set_handlers(std::move(ch));
+
+  int pending = 0;
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    pair.server->respond_headers(sid, 200);
+    // Stream 1 heavy (weight 255), stream 3 light (weight 1).
+    pair.server->find_stream(sid)->weight = sid == 1 ? 255 : 1;
+    ++pending;
+    if (pending == 2) {
+      pair.server->send_body_chunk(1, std::vector<std::uint8_t>(60000, 1), true);
+      pair.server->send_body_chunk(3, std::vector<std::uint8_t>(60000, 2), true);
+    }
+  };
+  pair.server->set_handlers(std::move(sh));
+
+  pair.client->send_request(get("/heavy"));
+  pair.client->send_request(get("/light"));
+  pair.run(10);
+  // Both fully delivered, and the 255:1 weighting finished the heavy stream
+  // first.
+  EXPECT_EQ(frames[1], frames[3]);
+  ASSERT_EQ(completion_order.size(), 2u);
+  EXPECT_EQ(completion_order[0], 1u);
+  EXPECT_EQ(completion_order[1], 3u);
+}
+
+TEST(H2Connection, WindowUpdateBatchConfigurable) {
+  h2::ConnectionConfig scfg;
+  h2::ConnectionConfig ccfg;
+  ccfg.window_update_batch = 4096;  // chatty client
+  H2Pair chatty(scfg, ccfg);
+  chatty.run(1);
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    chatty.server->respond_headers(sid, 200);
+    chatty.server->send_body_chunk(sid, std::vector<std::uint8_t>(100000, 1), true);
+  };
+  chatty.server->set_handlers(std::move(sh));
+  chatty.client->send_request(get("/dl"));
+  chatty.run(10);
+  // ~100 KB at a 4 KiB credit cadence: >= 20 client frames beyond setup.
+  EXPECT_GE(chatty.client->stats().frames_sent, 20u);
+}
+
+TEST(H2Connection, StatsCountFrames) {
+  H2Pair pair;
+  pair.run(1);
+  h2::ServerConnection::Handlers sh;
+  sh.on_request = [&](std::uint32_t sid, const hpack::HeaderList&) {
+    pair.server->respond_headers(sid, 200);
+    pair.server->send_body_chunk(sid, std::vector<std::uint8_t>(3000, 1), true);
+  };
+  pair.server->set_handlers(std::move(sh));
+  pair.client->send_request(get("/stats"));
+  pair.run(5);
+  EXPECT_GE(pair.server->stats().data_frames_sent, 1u);
+  EXPECT_EQ(pair.server->stats().data_bytes_sent, 3000u);
+  EXPECT_GE(pair.client->stats().frames_sent, 3u);  // SETTINGS, WU, HEADERS...
+  EXPECT_EQ(pair.server->stats().streams_opened, 1u);
+}
+
+}  // namespace
+}  // namespace h2sim::h2

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "h2/frame.hpp"
+
+namespace h2sim::h2 {
+namespace {
+
+TEST(FrameCodec, HeaderRoundTrip) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.flags = flags::kEndStream;
+  f.stream_id = 12345;
+  f.payload = {9, 8, 7};
+  const auto wire = serialize_frame(f);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + 3);
+
+  FrameDecoder dec;
+  dec.feed(wire);
+  auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, FrameType::kData);
+  EXPECT_EQ(out->flags, flags::kEndStream);
+  EXPECT_EQ(out->stream_id, 12345u);
+  EXPECT_EQ(out->payload, f.payload);
+}
+
+TEST(FrameCodec, ReservedBitMaskedOff) {
+  Frame f;
+  f.stream_id = 0x80000001u;  // high bit set
+  const auto wire = serialize_frame(f);
+  FrameDecoder dec;
+  dec.feed(wire);
+  EXPECT_EQ(dec.next()->stream_id, 1u);
+}
+
+TEST(FrameCodec, IncrementalFeed) {
+  Frame f;
+  f.type = FrameType::kHeaders;
+  f.payload.assign(300, 0x11);
+  const auto wire = serialize_frame(f);
+  FrameDecoder dec;
+  for (std::size_t i = 0; i < wire.size(); i += 7) {
+    const std::size_t n = std::min<std::size_t>(7, wire.size() - i);
+    dec.feed(std::span(wire.data() + i, n));
+  }
+  auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload.size(), 300u);
+}
+
+TEST(FrameCodec, OversizedFrameSetsError) {
+  Frame f;
+  f.payload.assign(20000, 1);  // > default 16384
+  const auto wire = serialize_frame(f);
+  FrameDecoder dec;
+  dec.feed(wire);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.error());
+}
+
+TEST(FrameCodec, MaxFrameSizeAdjustable) {
+  Frame f;
+  f.payload.assign(20000, 1);
+  const auto wire = serialize_frame(f);
+  FrameDecoder dec;
+  dec.set_max_frame_size(1 << 20);
+  dec.feed(wire);
+  EXPECT_TRUE(dec.next().has_value());
+  EXPECT_FALSE(dec.error());
+}
+
+TEST(SettingsCodec, RoundTrip) {
+  const SettingsEntry entries[] = {
+      {SettingId::kInitialWindowSize, 131072},
+      {SettingId::kMaxFrameSize, 16384},
+      {SettingId::kEnablePush, 0},
+  };
+  const auto payload = encode_settings(entries);
+  EXPECT_EQ(payload.size(), 18u);
+  auto out = parse_settings(payload);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[0].id, SettingId::kInitialWindowSize);
+  EXPECT_EQ((*out)[0].value, 131072u);
+}
+
+TEST(SettingsCodec, RejectsBadLength) {
+  std::vector<std::uint8_t> bad(7, 0);
+  EXPECT_FALSE(parse_settings(bad).has_value());
+}
+
+TEST(RstCodec, RoundTrip) {
+  const auto payload = encode_rst_stream(ErrorCode::kCancel);
+  auto out = parse_rst_stream(payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, ErrorCode::kCancel);
+  EXPECT_FALSE(parse_rst_stream({}).has_value());
+}
+
+TEST(WindowUpdateCodec, RoundTrip) {
+  const auto payload = encode_window_update(65535);
+  auto out = parse_window_update(payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 65535u);
+}
+
+TEST(GoawayCodec, RoundTrip) {
+  GoawayPayload g;
+  g.last_stream_id = 41;
+  g.error = ErrorCode::kEnhanceYourCalm;
+  g.debug = "slow down";
+  auto out = parse_goaway(encode_goaway(g));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->last_stream_id, 41u);
+  EXPECT_EQ(out->error, ErrorCode::kEnhanceYourCalm);
+  EXPECT_EQ(out->debug, "slow down");
+}
+
+TEST(PriorityCodec, RoundTrip) {
+  PriorityPayload p;
+  p.dependency = 3;
+  p.exclusive = true;
+  p.weight = 200;
+  auto out = parse_priority(encode_priority(p));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->dependency, 3u);
+  EXPECT_TRUE(out->exclusive);
+  EXPECT_EQ(out->weight, 200);
+}
+
+TEST(PushPromiseCodec, RoundTrip) {
+  const std::vector<std::uint8_t> block = {0x82, 0x86};
+  auto out = parse_push_promise(encode_push_promise(2, block));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->promised_id, 2u);
+  EXPECT_EQ(out->block, block);
+}
+
+TEST(Preface, MatchesRfc) {
+  const auto p = client_preface();
+  ASSERT_EQ(p.size(), 24u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(p.data()), 3), "PRI");
+}
+
+TEST(FrameNames, AllNamed) {
+  EXPECT_STREQ(to_string(FrameType::kData), "DATA");
+  EXPECT_STREQ(to_string(FrameType::kRstStream), "RST_STREAM");
+  EXPECT_STREQ(to_string(ErrorCode::kFlowControlError), "FLOW_CONTROL_ERROR");
+}
+
+}  // namespace
+}  // namespace h2sim::h2

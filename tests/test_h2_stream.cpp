@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "h2/flow_control.hpp"
+#include "h2/stream.hpp"
+
+namespace h2sim::h2 {
+namespace {
+
+TEST(StreamState, ClientRequestLifecycle) {
+  Stream s(1, 65535, 65535);
+  EXPECT_EQ(s.state(), StreamState::kIdle);
+  // Client sends HEADERS with END_STREAM (a GET): half-closed (local).
+  EXPECT_TRUE(s.on_send_headers(true));
+  EXPECT_EQ(s.state(), StreamState::kHalfClosedLocal);
+  // Server response headers...
+  EXPECT_TRUE(s.on_recv_headers(false));
+  EXPECT_EQ(s.state(), StreamState::kHalfClosedLocal);
+  // ...then DATA with END_STREAM closes.
+  EXPECT_TRUE(s.on_recv_data(true));
+  EXPECT_EQ(s.state(), StreamState::kClosed);
+}
+
+TEST(StreamState, ServerSideLifecycle) {
+  Stream s(1, 65535, 65535);
+  EXPECT_TRUE(s.on_recv_headers(true));  // GET arrives
+  EXPECT_EQ(s.state(), StreamState::kHalfClosedRemote);
+  EXPECT_TRUE(s.on_send_headers(false));  // response headers
+  EXPECT_TRUE(s.can_send_data());
+  EXPECT_TRUE(s.on_send_data_end());
+  EXPECT_EQ(s.state(), StreamState::kClosed);
+}
+
+TEST(StreamState, RstClosesFromAnyState) {
+  Stream s(5, 65535, 65535);
+  s.on_send_headers(false);
+  s.on_recv_rst();
+  EXPECT_TRUE(s.closed());
+
+  Stream t(7, 65535, 65535);
+  t.on_send_rst();
+  EXPECT_TRUE(t.closed());
+}
+
+TEST(StreamState, DataInIdleRejected) {
+  Stream s(1, 65535, 65535);
+  EXPECT_FALSE(s.can_recv_data());
+  EXPECT_FALSE(s.on_recv_data(false));
+}
+
+TEST(StreamState, PushPromiseReservations) {
+  Stream promised(2, 65535, 65535);
+  EXPECT_TRUE(promised.on_send_push_promise());
+  EXPECT_EQ(promised.state(), StreamState::kReservedLocal);
+  EXPECT_TRUE(promised.on_send_headers(false));
+  EXPECT_EQ(promised.state(), StreamState::kHalfClosedRemote);
+
+  Stream remote(2, 65535, 65535);
+  EXPECT_TRUE(remote.on_recv_push_promise());
+  EXPECT_EQ(remote.state(), StreamState::kReservedRemote);
+  EXPECT_TRUE(remote.on_recv_headers(false));
+  EXPECT_EQ(remote.state(), StreamState::kHalfClosedLocal);
+}
+
+TEST(StreamState, PushPromiseOnlyFromIdle) {
+  Stream s(2, 65535, 65535);
+  s.on_send_headers(false);
+  EXPECT_FALSE(s.on_send_push_promise());
+}
+
+TEST(StreamQueue, EnqueueDequeue) {
+  Stream s(1, 65535, 65535);
+  s.enqueue({1, 2, 3, 4, 5}, false);
+  s.enqueue({6, 7}, true);
+  EXPECT_EQ(s.queued_bytes(), 7u);
+  EXPECT_TRUE(s.end_stream_queued());
+  EXPECT_TRUE(s.has_pending_output());
+
+  auto chunk = s.dequeue(3);
+  EXPECT_EQ(chunk, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(s.queued_bytes(), 4u);
+  auto rest = s.dequeue(100);
+  EXPECT_EQ(rest.size(), 4u);
+  EXPECT_TRUE(s.end_stream_queued());  // END_STREAM still pending
+}
+
+TEST(StreamQueue, FlushDiscardsEverything) {
+  Stream s(1, 65535, 65535);
+  s.enqueue(std::vector<std::uint8_t>(5000, 9), true);
+  s.flush_queue();  // the paper's RST_STREAM server-side flush
+  EXPECT_EQ(s.queued_bytes(), 0u);
+  EXPECT_FALSE(s.end_stream_queued());
+  EXPECT_FALSE(s.has_pending_output());
+}
+
+TEST(FlowWindow, ConsumeAndReplenish) {
+  FlowWindow w(1000);
+  EXPECT_TRUE(w.can_send(1000));
+  EXPECT_FALSE(w.can_send(1001));
+  w.consume(600);
+  EXPECT_EQ(w.available(), 400);
+  EXPECT_TRUE(w.replenish(600));
+  EXPECT_EQ(w.available(), 1000);
+}
+
+TEST(FlowWindow, OverflowDetected) {
+  FlowWindow w(kMaxWindow - 10);
+  EXPECT_FALSE(w.replenish(100));
+}
+
+TEST(FlowWindow, CanGoNegativeViaAdjust) {
+  FlowWindow w(100);
+  w.adjust(-200);
+  EXPECT_EQ(w.available(), -100);
+  EXPECT_FALSE(w.can_send(1));
+  w.adjust(200);
+  EXPECT_TRUE(w.can_send(100));
+}
+
+TEST(StreamConsumedAccounting, BatchesWindowUpdates) {
+  Stream s(1, 65535, 131072);
+  s.note_consumed(1000);
+  s.note_consumed(500);
+  EXPECT_EQ(s.consumed_unacked(), 1500u);
+  s.clear_consumed();
+  EXPECT_EQ(s.consumed_unacked(), 0u);
+}
+
+}  // namespace
+}  // namespace h2sim::h2

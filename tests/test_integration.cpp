@@ -1,0 +1,178 @@
+// End-to-end trials through the experiment harness: the full stack
+// (sim/net/tcp/tls/hpack/h2/web) with and without the adversary.
+
+#include <gtest/gtest.h>
+
+#include "experiment/harness.hpp"
+
+namespace h2sim::experiment {
+namespace {
+
+TEST(Integration, BaselinePageLoadCompletes) {
+  TrialConfig cfg;
+  cfg.seed = 12345;
+  cfg.attack.enabled = false;
+  const TrialResult r = run_trial(cfg);
+  EXPECT_TRUE(r.page_complete) << r.failure_reason;
+  EXPECT_FALSE(r.connection_broken);
+  ASSERT_EQ(r.interest.size(), 9u);
+  for (const auto& o : r.interest) EXPECT_TRUE(o.delivered) << o.label;
+  EXPECT_EQ(r.gets_counted, 53);
+  EXPECT_GT(r.records_observed, 1000u);
+}
+
+TEST(Integration, DeterministicForSameSeed) {
+  TrialConfig cfg;
+  cfg.seed = 777;
+  cfg.attack.enabled = false;
+  const TrialResult a = run_trial(cfg);
+  const TrialResult b = run_trial(cfg);
+  EXPECT_EQ(a.page_complete, b.page_complete);
+  EXPECT_EQ(a.tcp_retransmits, b.tcp_retransmits);
+  EXPECT_EQ(a.records_observed, b.records_observed);
+  EXPECT_EQ(a.truth, b.truth);
+  ASSERT_EQ(a.interest.size(), b.interest.size());
+  for (std::size_t i = 0; i < a.interest.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.interest[i].primary_dom, b.interest[i].primary_dom);
+  }
+}
+
+TEST(Integration, DifferentSeedsDifferentPermutations) {
+  TrialConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.attack.enabled = b.attack.enabled = false;
+  // At least the permutation or DoM pattern should differ across seeds.
+  const TrialResult ra = run_trial(a);
+  const TrialResult rb = run_trial(b);
+  EXPECT_TRUE(ra.truth != rb.truth || ra.records_observed != rb.records_observed);
+}
+
+TEST(Integration, BaselineEmblemsHeavilyMultiplexed) {
+  int mux = 0, total = 0;
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    TrialConfig cfg;
+    cfg.seed = seed;
+    cfg.attack.enabled = false;
+    const TrialResult r = run_trial(cfg);
+    if (!r.page_complete) continue;
+    for (int j = 1; j <= 8; ++j) {
+      ++total;
+      if (r.interest[static_cast<std::size_t>(j)].primary_dom > 0.3) ++mux;
+    }
+  }
+  ASSERT_GT(total, 0);
+  // Without the adversary, the image burst multiplexes heavily.
+  EXPECT_GT(static_cast<double>(mux) / total, 0.8);
+}
+
+TEST(Integration, FullAttackSerializesHtml) {
+  int success = 0, completed = 0;
+  for (std::uint64_t seed = 200; seed < 208; ++seed) {
+    TrialConfig cfg;
+    cfg.seed = seed;
+    cfg.attack = full_attack_config();
+    const TrialResult r = run_trial(cfg);
+    if (!r.page_complete) continue;
+    ++completed;
+    if (r.success[0]) ++success;
+  }
+  ASSERT_GT(completed, 3);
+  // The paper reports ~90%; require a clear majority here (few trials).
+  EXPECT_GE(static_cast<double>(success) / completed, 0.75);
+}
+
+TEST(Integration, FullAttackRecoversMostOfTheRanking) {
+  int correct_positions = 0, total_positions = 0;
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    TrialConfig cfg;
+    cfg.seed = seed;
+    cfg.attack = full_attack_config();
+    const TrialResult r = run_trial(cfg);
+    // Broken trials still count: the adversary keeps what it extracted.
+    for (int j = 1; j <= 8; ++j) {
+      ++total_positions;
+      if (r.success[static_cast<std::size_t>(j)]) ++correct_positions;
+    }
+  }
+  ASSERT_GT(total_positions, 0);
+  EXPECT_GT(static_cast<double>(correct_positions) / total_positions, 0.5);
+}
+
+TEST(Integration, AttackUsesResetSweep) {
+  TrialConfig cfg;
+  cfg.seed = 42;
+  cfg.attack = full_attack_config();
+  const TrialResult r = run_trial(cfg);
+  if (r.page_complete) {
+    EXPECT_GE(r.reset_sweeps, 1);       // Figure 6 mechanism engaged
+    EXPECT_GT(r.adversary_drops, 10u);  // the drop window did real work
+  }
+}
+
+TEST(Integration, JitterIncreasesRetransmissions) {
+  std::uint64_t base = 0, jittered = 0;
+  int n = 0;
+  for (std::uint64_t seed = 400; seed < 406; ++seed) {
+    TrialConfig cfg;
+    cfg.seed = seed;
+    cfg.attack.enabled = false;
+    const TrialResult a = run_trial(cfg);
+    cfg.attack = jitter_only_config(sim::Duration::millis(50));
+    const TrialResult b = run_trial(cfg);
+    if (!a.page_complete || !b.page_complete) continue;
+    base += a.wire_retransmissions();
+    jittered += b.wire_retransmissions();
+    ++n;
+  }
+  ASSERT_GT(n, 2);
+  EXPECT_GT(jittered, base);  // Table I's retransmission increase
+}
+
+TEST(Integration, SequentialServerDefeatsNothing) {
+  // A server with multiplexing disabled (Section V: most deployments) gives
+  // the passive attacker serialized objects even with no adversary.
+  TrialConfig cfg;
+  cfg.seed = 500;
+  cfg.attack.enabled = false;
+  cfg.server_h2.scheduler = h2::SchedulerKind::kSequential;
+  cfg.server_app.serial_workers = true;
+  const TrialResult r = run_trial(cfg);
+  EXPECT_TRUE(r.page_complete) << r.failure_reason;
+  int serialized = 0;
+  for (int j = 0; j <= 8; ++j) {
+    if (r.interest[static_cast<std::size_t>(j)].primary_serialized) ++serialized;
+  }
+  EXPECT_GE(serialized, 7);  // nearly everything is delimitable
+}
+
+TEST(Integration, BrokenConnectionReportedAtExtremeDropRate) {
+  int broken = 0;
+  for (std::uint64_t seed = 600; seed < 606; ++seed) {
+    TrialConfig cfg;
+    cfg.seed = seed;
+    cfg.attack = full_attack_config();
+    cfg.attack.drop_rate = 0.97;
+    const TrialResult r = run_trial(cfg);
+    if (!r.page_complete) ++broken;
+  }
+  EXPECT_GE(broken, 2);  // the paper's "broken connection" regime
+}
+
+TEST(Integration, SingleTargetModeServializesTarget) {
+  int success = 0, completed = 0;
+  for (std::uint64_t seed = 700; seed < 706; ++seed) {
+    TrialConfig cfg;
+    cfg.seed = seed;
+    cfg.attack = single_target_attack_config(html_get_index(cfg.site));
+    const TrialResult r = run_trial(cfg);
+    if (!r.page_complete) continue;
+    ++completed;
+    if (r.interest[0].any_copy_serialized) ++success;
+  }
+  ASSERT_GT(completed, 2);
+  EXPECT_GE(static_cast<double>(success) / completed, 0.75);
+}
+
+}  // namespace
+}  // namespace h2sim::experiment

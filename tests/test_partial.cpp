@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "analysis/partial.hpp"
+
+namespace h2sim::analysis {
+namespace {
+
+SizeIdentityDb catalogue() {
+  SizeIdentityDb db;
+  db.add("a", 5200);
+  db.add("b", 6700);
+  db.add("c", 8600);
+  db.add("d", 9900);
+  db.add("e", 11400);
+  return db;
+}
+
+TEST(PartialInference, ExplainsExactPair) {
+  const auto db = catalogue();
+  const auto r = explain_region(5200 + 8600, db);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->labels.size(), 2u);
+  // Sorted by size descending in the search.
+  EXPECT_EQ(r->labels[0], "c");
+  EXPECT_EQ(r->labels[1], "a");
+  EXPECT_NEAR(r->residual_rel, 0.0, 1e-9);
+}
+
+TEST(PartialInference, ExplainsTripleWithinTolerance) {
+  const auto db = catalogue();
+  const std::size_t total = 5200 + 6700 + 11400;
+  const auto r = explain_region(total + 150, db);  // ~0.6% off
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->labels.size(), 3u);
+  EXPECT_LE(r->residual_rel, 0.02);
+}
+
+TEST(PartialInference, RejectsUnexplainableTotals) {
+  const auto db = catalogue();
+  EXPECT_FALSE(explain_region(1234, db).has_value());
+  EXPECT_FALSE(explain_region(0, db).has_value());
+  // Far larger than any max_subset=4 combination.
+  EXPECT_FALSE(explain_region(500000, db).has_value());
+}
+
+TEST(PartialInference, RespectsSubsetBound) {
+  const auto db = catalogue();
+  PartialConfig cfg;
+  cfg.max_subset = 2;
+  const std::size_t triple = 5200 + 6700 + 8600;
+  // 20500 as a pair: closest pairs are 8600+11400=20000 (2.4% off) and
+  // 9900+11400=21300 (3.9% off) — both outside tolerance.
+  EXPECT_FALSE(explain_region(triple, db, cfg).has_value());
+  cfg.max_subset = 3;
+  EXPECT_TRUE(explain_region(triple, db, cfg).has_value());
+}
+
+TEST(PartialInference, PrefersSmallestResidual) {
+  SizeIdentityDb db;
+  db.add("x", 1000);
+  db.add("y", 1010);
+  PartialConfig cfg;
+  cfg.tolerance = 0.05;
+  cfg.max_subset = 1;
+  const auto r = explain_region(1008, db, cfg);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->labels[0], "y");
+}
+
+TEST(PartialInference, FullTraceMixesDirectAndSubset) {
+  const auto db = catalogue();
+  std::vector<DetectedObject> dets;
+  auto det = [](std::size_t size) {
+    DetectedObject d;
+    d.size_estimate = size;
+    d.ended_by_delimiter = true;
+    return d;
+  };
+  dets.push_back(det(9900));          // direct: d
+  dets.push_back(det(5200 + 6700));   // region: a + b
+  dets.push_back(det(777));           // junk
+  const auto inf = infer_objects_partial(dets, db);
+  EXPECT_EQ(inf.direct_matches, 1);
+  EXPECT_EQ(inf.subset_matches, 2);
+  EXPECT_EQ(inf.unexplained_regions, 1);
+  ASSERT_EQ(inf.labels.size(), 3u);
+  EXPECT_EQ(inf.labels[0], "d");
+}
+
+TEST(PartialInference, SingleItemRegionCountsAsDirect) {
+  // A region equal to one catalogue size should resolve via identify(), not
+  // get double-reported by the subset search.
+  const auto db = catalogue();
+  std::vector<DetectedObject> dets;
+  DetectedObject d;
+  d.size_estimate = 8600;
+  dets.push_back(d);
+  const auto inf = infer_objects_partial(dets, db);
+  EXPECT_EQ(inf.direct_matches, 1);
+  EXPECT_EQ(inf.subset_matches, 0);
+  ASSERT_EQ(inf.labels.size(), 1u);
+  EXPECT_EQ(inf.labels[0], "c");
+}
+
+}  // namespace
+}  // namespace h2sim::analysis

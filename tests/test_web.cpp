@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "experiment/harness.hpp"
+#include "web/website.hpp"
+
+namespace h2sim::web {
+namespace {
+
+TEST(Website, IsidewithInventory) {
+  const Website site = make_isidewith_site();
+  // 5 pre + 1 html + 39 fillers + 8 emblems = 53 objects.
+  EXPECT_EQ(site.objects().size(), 53u);
+  EXPECT_EQ(site.schedule.size(), 53u);
+  ASSERT_EQ(site.emblem_paths.size(), 8u);
+  ASSERT_FALSE(site.html_path.empty());
+  const WebObject* html = site.find(site.html_path);
+  ASSERT_NE(html, nullptr);
+  EXPECT_EQ(html->size, 9500u);
+  EXPECT_TRUE(html->dynamic);
+  EXPECT_EQ(html->label, "html");
+}
+
+TEST(Website, HtmlIsSixthRequest) {
+  const Website site = make_isidewith_site();
+  EXPECT_EQ(site.schedule[5].path, site.html_path);
+  IsidewithConfig cfg;
+  EXPECT_EQ(experiment::html_get_index(cfg), 6);
+}
+
+TEST(Website, EmblemSizesUniqueAndInPaperRange) {
+  const IsidewithConfig cfg;
+  std::set<std::size_t> sizes(cfg.emblem_sizes.begin(), cfg.emblem_sizes.end());
+  EXPECT_EQ(sizes.size(), 8u);
+  for (const std::size_t s : cfg.emblem_sizes) {
+    EXPECT_GE(s, 5000u);   // "between 5KB to 16KB"
+    EXPECT_LE(s, 16384u);
+  }
+}
+
+TEST(Website, SizesSeparatedBeyondPredictorTolerance) {
+  const Website site = make_isidewith_site();
+  const IsidewithConfig cfg;
+  // No filler or html size within 2% of any emblem size: the attacker's
+  // size database must be unambiguous (the paper's premise).
+  for (const auto& [path, obj] : site.objects()) {
+    if (obj.label.rfind("party", 0) == 0) continue;
+    for (const std::size_t e : cfg.emblem_sizes) {
+      const double rel = std::abs(static_cast<double>(obj.size) -
+                                  static_cast<double>(e)) /
+                         static_cast<double>(e);
+      EXPECT_GT(rel, 0.02) << obj.path << " collides with emblem size " << e;
+    }
+  }
+}
+
+TEST(Website, TailRecordsSurviveBoundaryFilter) {
+  // Every object's final 1024-byte-chunked record must stay above the
+  // boundary detector's control-record threshold (body = tail + 25 >= 64),
+  // i.e. tail >= 39 bytes, or the delimiter would vanish.
+  const Website site = make_isidewith_site();
+  for (const auto& [path, obj] : site.objects()) {
+    const std::size_t tail = obj.size % 1024;
+    if (tail != 0) {
+      EXPECT_GE(tail + 25, 64u) << path << " size " << obj.size;
+    }
+  }
+}
+
+TEST(Website, EmblemBurstUsesTableIIGaps) {
+  const Website site = make_isidewith_site();
+  std::vector<double> gaps;
+  for (const auto& step : site.schedule) {
+    if (step.path.rfind("EMBLEM_", 0) == 0) {
+      gaps.push_back(step.gap_from_prev.to_millis());
+    }
+  }
+  ASSERT_EQ(gaps.size(), 8u);
+  // Sub-millisecond gaps of Table II for I2..I8.
+  EXPECT_NEAR(gaps[1], 0.4, 1e-9);
+  EXPECT_NEAR(gaps[4], 0.1, 1e-9);
+  EXPECT_NEAR(gaps[7], 0.5, 1e-9);
+}
+
+TEST(Website, GatesOrdered) {
+  const Website site = make_isidewith_site();
+  // Pre-objects and html: no gate; head fillers gate on first byte; emblems
+  // and trailing fillers on completion.
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(site.schedule[static_cast<std::size_t>(i)].gate, Gate::kNone);
+  bool saw_first_byte_gate = false, saw_complete_gate = false;
+  for (const auto& s : site.schedule) {
+    if (s.gate == Gate::kHtmlFirstByte) saw_first_byte_gate = true;
+    if (s.gate == Gate::kHtmlComplete) saw_complete_gate = true;
+  }
+  EXPECT_TRUE(saw_first_byte_gate);
+  EXPECT_TRUE(saw_complete_gate);
+}
+
+TEST(Website, TwoObjectSite) {
+  const Website site = make_two_object_site(1000, 2000);
+  EXPECT_EQ(site.objects().size(), 2u);
+  EXPECT_EQ(site.find("/o1")->size, 1000u);
+  EXPECT_EQ(site.find_by_label("O2")->size, 2000u);
+}
+
+TEST(Website, EmblemGetIndices) {
+  IsidewithConfig cfg;
+  // GETs: 5 pre, html (6), 12 head fillers (7..18), emblems (19..26).
+  EXPECT_EQ(experiment::emblem_get_index(cfg, 0), 19);
+  EXPECT_EQ(experiment::emblem_get_index(cfg, 7), 26);
+}
+
+}  // namespace
+}  // namespace h2sim::web
