@@ -9,6 +9,8 @@
 #include "hpack/decoder.hpp"
 #include "hpack/encoder.hpp"
 #include "hpack/huffman.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 #include "tls/record.hpp"
@@ -123,6 +125,32 @@ void BM_RngU64(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RngU64);
+
+// The per-packet cost of the observability layer: a registered counter
+// increment is one pointer dereference, and a record call against a disabled
+// tracer is a single mask test. These bound the overhead instrumentation adds
+// to the simulator's hot paths when tracing is off (the default).
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::Counter c = obs::MetricsRegistry::instance().counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_TracerDisabledInstant(benchmark::State& state) {
+  auto& tr = obs::Tracer::instance();
+  tr.disable_all();
+  const sim::TimePoint t = sim::TimePoint::origin();
+  for (auto _ : state) {
+    if (tr.enabled(obs::Component::kTcp)) {
+      tr.instant(obs::Component::kTcp, "never", t, 1, 1);
+    }
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TracerDisabledInstant);
 
 }  // namespace
 

@@ -9,11 +9,37 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "analysis/boundary.hpp"
 #include "analysis/predictor.hpp"
 #include "experiment/harness.hpp"
+
+namespace {
+
+/// Opens `path`, writes the header line, hands the stream to `rows`, and
+/// closes it. Returns false (after complaining on stderr) when the file
+/// cannot be opened or a write fails.
+bool write_csv(const std::string& path, const char* header,
+               const std::function<void(FILE*)>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "trace_export: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", header);
+  rows(f);
+  const bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "trace_export: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace h2sim;
@@ -30,42 +56,44 @@ int main(int argc, char** argv) {
   }
   db.add("html", cfg.site.html_size);
 
+  bool export_ok = true;
   cfg.trace_inspector = [&](const analysis::PacketTrace& trace) {
-    {
-      FILE* f = std::fopen((prefix + "_records.csv").c_str(), "w");
-      std::fprintf(f, "time_ms,direction,content_type,body_len\n");
-      for (const auto& r : trace.records()) {
-        std::fprintf(f, "%.3f,%s,%d,%zu\n", r.time.to_millis(),
-                     r.dir == net::Direction::kClientToServer ? "c2s" : "s2c",
-                     static_cast<int>(r.type), r.body_len);
-      }
-      std::fclose(f);
-    }
-    {
-      FILE* f = std::fopen((prefix + "_objects.csv").c_str(), "w");
-      std::fprintf(f, "start_ms,end_ms,size_estimate,records,delimiter,identified\n");
-      for (const auto& d : analysis::detect_objects(trace)) {
-        const auto m = db.identify(d.size_estimate);
-        std::fprintf(f, "%.3f,%.3f,%zu,%zu,%d,%s\n", d.start.to_millis(),
-                     d.end.to_millis(), d.size_estimate, d.records,
-                     d.ended_by_delimiter ? 1 : 0,
-                     m ? m->label.c_str() : "");
-      }
-      std::fclose(f);
-    }
+    export_ok &= write_csv(
+        prefix + "_records.csv", "time_ms,direction,content_type,body_len",
+        [&](FILE* f) {
+          for (const auto& r : trace.records()) {
+            std::fprintf(f, "%.3f,%s,%d,%zu\n", r.time.to_millis(),
+                         r.dir == net::Direction::kClientToServer ? "c2s" : "s2c",
+                         static_cast<int>(r.type), r.body_len);
+          }
+        });
+    export_ok &= write_csv(
+        prefix + "_objects.csv",
+        "start_ms,end_ms,size_estimate,records,delimiter,identified",
+        [&](FILE* f) {
+          for (const auto& d : analysis::detect_objects(trace)) {
+            const auto m = db.identify(d.size_estimate);
+            std::fprintf(f, "%.3f,%.3f,%zu,%zu,%d,%s\n", d.start.to_millis(),
+                         d.end.to_millis(), d.size_estimate, d.records,
+                         d.ended_by_delimiter ? 1 : 0,
+                         m ? m->label.c_str() : "");
+          }
+        });
   };
   cfg.wire_log_inspector = [&](const analysis::WireLog& log) {
-    FILE* f = std::fopen((prefix + "_wire.csv").c_str(), "w");
-    std::fprintf(f, "time_ms,stream_id,object,is_data,bytes,end_stream\n");
-    for (const auto& e : log.events()) {
-      std::fprintf(f, "%.3f,%u,%s,%d,%zu,%d\n", e.time.to_millis(), e.stream_id,
-                   e.object.c_str(), e.is_data ? 1 : 0, e.data_bytes,
-                   e.end_stream ? 1 : 0);
-    }
-    std::fclose(f);
+    export_ok &= write_csv(
+        prefix + "_wire.csv", "time_ms,stream_id,object,is_data,bytes,end_stream",
+        [&](FILE* f) {
+          for (const auto& e : log.events()) {
+            std::fprintf(f, "%.3f,%u,%s,%d,%zu,%d\n", e.time.to_millis(),
+                         e.stream_id, e.object.c_str(), e.is_data ? 1 : 0,
+                         e.data_bytes, e.end_stream ? 1 : 0);
+          }
+        });
   };
 
   const auto r = experiment::run_trial(cfg);
+  if (!export_ok) return 1;
   std::printf("trial done: complete=%s records=%zu -> %s_{records,wire,objects}.csv\n",
               r.page_complete ? "yes" : "no", r.records_observed, prefix.c_str());
   return 0;

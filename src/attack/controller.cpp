@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "attack/monitor.hpp"
+#include "obs/trace.hpp"
 
 namespace h2sim::attack {
 
@@ -19,6 +20,13 @@ net::Decision NetworkController::on_packet(const net::Packet& p,
         drop_held_request_retransmissions &&
         monitor_->packet_is_c2s_retransmission(p.id) && now < last_release_) {
       ++stats_.retransmissions_suppressed;
+      metrics_.retransmissions_suppressed.inc();
+      auto& tr = obs::Tracer::instance();
+      if (tr.enabled(obs::Component::kAttack)) {
+        tr.instant(obs::Component::kAttack, "suppress-retrans", now,
+                   obs::track::kAdversary, p.tcp.src_port,
+                   obs::TraceArgs().add("packet", p.describe()).take());
+      }
       return net::Decision::drop();
     }
     if (spacing_ > sim::Duration::zero() && is_request_packet(p)) {
@@ -31,8 +39,18 @@ net::Decision NetworkController::on_packet(const net::Packet& p,
       any_released_ = true;
       if (release > now) {
         ++stats_.requests_spaced;
+        metrics_.requests_spaced.inc();
         const sim::Duration hold = release - now;
         if (hold > stats_.max_hold) stats_.max_hold = hold;
+        auto& tr = obs::Tracer::instance();
+        if (tr.enabled(obs::Component::kAttack)) {
+          tr.complete(obs::Component::kAttack, "space-request", now, release,
+                      obs::track::kAdversary, p.tcp.src_port,
+                      obs::TraceArgs()
+                          .add("hold_ms", hold.to_millis())
+                          .add("packet", p.describe())
+                          .take());
+        }
         return net::Decision::hold(hold);
       }
     }
@@ -43,6 +61,13 @@ net::Decision NetworkController::on_packet(const net::Packet& p,
   // "drop 80 % of application packets").
   if (dropping() && !p.payload.empty() && rng_.bernoulli(drop_rate_)) {
     ++stats_.packets_dropped;
+    metrics_.packets_dropped.inc();
+    auto& tr = obs::Tracer::instance();
+    if (tr.enabled(obs::Component::kAttack)) {
+      tr.instant(obs::Component::kAttack, "adv-drop", now,
+                 obs::track::kAdversary, p.tcp.dst_port,
+                 obs::TraceArgs().add("packet", p.describe()).take());
+    }
     return net::Decision::drop();
   }
   return net::Decision::forward();

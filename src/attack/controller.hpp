@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "net/middlebox.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 
@@ -30,7 +31,13 @@ class NetworkController : public net::PacketPolicy {
   };
 
   NetworkController(sim::EventLoop& loop, sim::Rng rng)
-      : loop_(loop), rng_(rng) {}
+      : loop_(loop), rng_(rng) {
+    auto& reg = obs::MetricsRegistry::instance();
+    metrics_.requests_spaced = reg.counter("attack.requests_spaced");
+    metrics_.packets_dropped = reg.counter("attack.packets_dropped");
+    metrics_.retransmissions_suppressed =
+        reg.counter("attack.retransmissions_suppressed");
+  }
 
   net::Decision on_packet(const net::Packet& p, net::Direction dir,
                           sim::TimePoint now) override;
@@ -76,6 +83,13 @@ class NetworkController : public net::PacketPolicy {
   double drop_rate_ = 0.0;
   sim::TimePoint drop_until_ = sim::TimePoint::origin();
   Stats stats_;
+
+  struct Metrics {
+    obs::Counter requests_spaced;
+    obs::Counter packets_dropped;
+    obs::Counter retransmissions_suppressed;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace h2sim::attack

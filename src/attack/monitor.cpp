@@ -1,5 +1,6 @@
 #include "attack/monitor.hpp"
 
+#include "obs/trace.hpp"
 #include "tcp/tcp_types.hpp"
 
 namespace h2sim::attack {
@@ -91,11 +92,22 @@ void TrafficMonitor::drain_records(StreamState& st, net::Direction dir,
     obs.type = rec->header.type;
     obs.body_len = rec->header.length;
     trace_.add(obs);
+    metrics_.records_observed.inc();
 
     if (dir == net::Direction::kClientToServer &&
         rec->header.type == tls::ContentType::kApplicationData &&
         rec->header.length >= cfg_.get_min_record_body) {
       ++get_count_;
+      metrics_.gets_counted.inc();
+      auto& tr = obs::Tracer::instance();
+      if (tr.enabled(obs::Component::kAttack)) {
+        tr.instant(obs::Component::kAttack, "get-seen", now,
+                   obs::track::kAdversary, 0,
+                   obs::TraceArgs()
+                       .add("index", get_count_)
+                       .add("record_len", rec->header.length)
+                       .take());
+      }
       if (on_get) on_get(get_count_, now);
     }
   }

@@ -8,6 +8,7 @@
 #include "analysis/trace.hpp"
 #include "net/middlebox.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "tls/record.hpp"
 
@@ -31,7 +32,11 @@ class TrafficMonitor {
  public:
   using Config = MonitorConfig;
 
-  explicit TrafficMonitor(Config cfg = Config{}) : cfg_(cfg) {}
+  explicit TrafficMonitor(Config cfg = Config{}) : cfg_(cfg) {
+    auto& reg = obs::MetricsRegistry::instance();
+    metrics_.records_observed = reg.counter("attack.records_observed");
+    metrics_.gets_counted = reg.counter("attack.gets_counted");
+  }
 
   /// Wire into Middlebox::set_tap.
   void observe(const net::Packet& p, net::Direction dir, sim::TimePoint now);
@@ -82,6 +87,12 @@ class TrafficMonitor {
   int get_count_ = 0;
   std::uint64_t last_request_packet_id_ = 0;
   std::uint64_t last_c2s_retrans_packet_id_ = 0;
+
+  struct Metrics {
+    obs::Counter records_observed;
+    obs::Counter gets_counted;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace h2sim::attack

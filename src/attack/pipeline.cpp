@@ -1,8 +1,20 @@
 #include "attack/pipeline.hpp"
 
+#include "obs/trace.hpp"
 #include "sim/log.hpp"
 
 namespace h2sim::attack {
+
+namespace {
+void trace_phase(AttackPipeline::Phase from, AttackPipeline::Phase to,
+                 sim::TimePoint now) {
+  auto& tr = obs::Tracer::instance();
+  if (!tr.enabled(obs::Component::kAttack)) return;
+  tr.instant(obs::Component::kAttack, std::string("phase:") + to_string(to),
+             now, obs::track::kAdversary, 0,
+             obs::TraceArgs().add("from", to_string(from)).take());
+}
+}  // namespace
 
 const char* to_string(AttackPipeline::Phase p) {
   switch (p) {
@@ -29,6 +41,7 @@ AttackPipeline::AttackPipeline(sim::EventLoop& loop, net::Middlebox& mb,
   if (cfg_.use_throttle && cfg_.throttle_from_start) {
     mb_.set_rate_limit(cfg_.throttle_bps);
   }
+  trace_phase(phase_, Phase::kJitter, loop_.now());
   phase_ = Phase::kJitter;
   monitor_.on_get = [this](int index, sim::TimePoint now) { on_get(index, now); };
 }
@@ -43,6 +56,7 @@ void AttackPipeline::on_get(int index, sim::TimePoint now) {
 }
 
 void AttackPipeline::enter_disrupt() {
+  trace_phase(phase_, Phase::kDisrupt, loop_.now());
   phase_ = Phase::kDisrupt;
   if (cfg_.use_throttle) mb_.set_rate_limit(cfg_.throttle_bps);
   if (cfg_.use_drop) {
@@ -54,6 +68,7 @@ void AttackPipeline::enter_disrupt() {
 }
 
 void AttackPipeline::enter_serialize() {
+  trace_phase(phase_, Phase::kSerialize, loop_.now());
   phase_ = Phase::kSerialize;
   controller_.stop_drop();
   controller_.set_request_spacing(cfg_.jitter_phase2);

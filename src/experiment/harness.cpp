@@ -5,6 +5,7 @@
 
 #include "analysis/boundary.hpp"
 #include "defense/defenses.hpp"
+#include "obs/trace.hpp"
 #include "h2/server.hpp"
 #include "tcp/tcp_stack.hpp"
 #include "tls/session.hpp"
@@ -100,6 +101,13 @@ int emblem_get_index(const web::IsidewithConfig& site, int j) {
 }
 
 TrialResult run_trial(const TrialConfig& cfg) {
+  // Each trial owns the process-wide observability state: zero every
+  // registered metric and drop buffered trace events so counters and
+  // timelines cover exactly this trial (and same-seed reruns are
+  // bit-identical).
+  obs::MetricsRegistry::instance().reset();
+  obs::Tracer::instance().clear();
+
   sim::EventLoop loop;
   sim::Rng root(cfg.seed);
   sim::Rng rng_perm = root.split();
@@ -203,19 +211,23 @@ TrialResult run_trial(const TrialConfig& cfg) {
   r.failure_reason = browser.failure_reason();
   r.connection_broken = browser.failed() &&
                         r.failure_reason.find("connection dead") != std::string::npos;
-  r.browser_reissues = browser.total_reissues();
-  r.reset_sweeps = browser.reset_sweeps();
-
-  const tcp::TcpStats cs = client_stack.aggregate_stats();
-  const tcp::TcpStats ss = server_stack.aggregate_stats();
-  r.tcp_fast_retransmits = cs.retransmits_fast + ss.retransmits_fast;
-  r.tcp_rto_retransmits = cs.retransmits_rto + ss.retransmits_rto;
+  // Counters are sourced from the metrics registry — the same numbers any
+  // exported metrics snapshot shows. The registry was reset at trial entry,
+  // so each value covers exactly this trial.
+  auto& reg = obs::MetricsRegistry::instance();
+  r.browser_reissues = static_cast<int>(reg.counter_value("web.reissues"));
+  r.reset_sweeps = static_cast<int>(reg.counter_value("web.reset_sweeps"));
+  r.tcp_fast_retransmits = reg.counter_value("tcp.retransmits_fast");
+  r.tcp_rto_retransmits = reg.counter_value("tcp.retransmits_rto");
   r.tcp_retransmits = r.tcp_fast_retransmits + r.tcp_rto_retransmits;
-  r.adversary_drops = pipeline.controller().stats().packets_dropped;
-  r.requests_spaced = pipeline.controller().stats().requests_spaced;
-  r.link_drops = path.link_drops();
-  r.records_observed = pipeline.trace().records().size();
-  r.gets_counted = pipeline.monitor().get_count();
+  r.adversary_drops = reg.counter_value("attack.packets_dropped");
+  r.requests_spaced = reg.counter_value("attack.requests_spaced");
+  r.link_drops = reg.counter_value("net.link_drops");
+  r.records_observed =
+      static_cast<std::size_t>(reg.counter_value("attack.records_observed"));
+  r.gets_counted = static_cast<int>(reg.counter_value("attack.gets_counted"));
+
+  if (cfg.metrics_inspector) cfg.metrics_inspector(reg.snapshot());
 
   double last_done = 0.0;
   for (const auto& o : browser.objects()) {

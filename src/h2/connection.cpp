@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "sim/log.hpp"
 
 namespace h2sim::h2 {
@@ -25,6 +26,16 @@ Connection::Connection(sim::EventLoop& loop, tls::TlsSession& tls, bool is_serve
       cfg_(cfg),
       rng_(rng),
       next_local_stream_(is_server ? 2 : 1) {
+  auto& reg = obs::MetricsRegistry::instance();
+  const std::string side = is_server ? "h2.server." : "h2.client.";
+  metrics_.frames_sent = reg.counter(side + "frames_sent");
+  metrics_.frames_received = reg.counter(side + "frames_received");
+  metrics_.data_bytes_sent = reg.counter(side + "data_bytes_sent");
+  metrics_.rst_sent = reg.counter(side + "rst_sent");
+  metrics_.rst_received = reg.counter(side + "rst_received");
+  metrics_.streams_opened = reg.counter(side + "streams_opened");
+  metrics_.flow_stalls = reg.counter(side + "flow_stalls");
+
   hpack_decoder_.set_max_table_size(4096);
 
   tls::TlsSession::Callbacks cbs;
@@ -85,15 +96,27 @@ void Connection::send_initial_settings() {
 void Connection::write_frame(Frame&& f) {
   if (dead_) return;
   ++stats_.frames_sent;
+  metrics_.frames_sent.inc();
   if (f.type == FrameType::kData) {
     ++stats_.data_frames_sent;
     stats_.data_bytes_sent += f.payload.size();
+    metrics_.data_bytes_sent.add(f.payload.size());
   } else if (f.type == FrameType::kHeaders) {
     ++stats_.headers_frames_sent;
   }
   sim::logf(sim::LogLevel::kTrace, loop_.now(), is_server_ ? "h2.srv" : "h2.cli",
             "send %s sid=%u len=%zu flags=%02x", to_string(f.type), f.stream_id,
             f.payload.size(), f.flags);
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kH2)) {
+    tr.instant(obs::Component::kH2, std::string("tx ") + to_string(f.type),
+               loop_.now(), is_server_ ? obs::track::kServer : obs::track::kClient,
+               f.stream_id,
+               obs::TraceArgs()
+                   .add("len", f.payload.size())
+                   .add("flags", static_cast<std::uint64_t>(f.flags))
+                   .take());
+  }
   if (frame_tap_) frame_tap_(f, loop_.now());
   tls_.write(serialize_frame(f));
 }
@@ -105,7 +128,19 @@ Stream& Connection::create_stream(std::uint32_t id) {
   streams_[id] = std::move(s);
   rr_order_.push_back(id);
   ++stats_.streams_opened;
+  metrics_.streams_opened.inc();
   return ref;
+}
+
+void Connection::trace_stream_state(std::uint32_t stream_id, StreamState before) {
+  auto& tr = obs::Tracer::instance();
+  if (!tr.enabled(obs::Component::kH2)) return;
+  const Stream* s = find_stream(stream_id);
+  const StreamState after = s ? s->state() : StreamState::kClosed;
+  if (after == before) return;
+  tr.instant(obs::Component::kH2, std::string("stream:") + to_string(after),
+             loop_.now(), is_server_ ? obs::track::kServer : obs::track::kClient,
+             stream_id, obs::TraceArgs().add("from", to_string(before)).take());
 }
 
 Stream* Connection::find_stream(std::uint32_t id) {
@@ -159,6 +194,7 @@ void Connection::send_headers(std::uint32_t stream_id,
                               const hpack::HeaderList& headers, bool end_stream) {
   Stream* s = find_stream(stream_id);
   if (!s) s = &create_stream(stream_id);
+  const StreamState before = s->state();
   if (!s->on_send_headers(end_stream)) {
     sim::logf(sim::LogLevel::kWarn, loop_.now(), "h2",
               "send_headers in invalid state, stream %u", stream_id);
@@ -182,11 +218,13 @@ void Connection::send_headers(std::uint32_t stream_id,
     first = false;
     write_frame(std::move(f));
   } while (pos < block.size());
+  trace_stream_state(stream_id, before);
   destroy_stream_if_closed(stream_id);
 }
 
 void Connection::send_rst_stream(std::uint32_t stream_id, ErrorCode code) {
   Stream* s = find_stream(stream_id);
+  const StreamState before = s ? s->state() : StreamState::kClosed;
   if (s) {
     s->flush_queue();
     s->on_send_rst();
@@ -196,7 +234,9 @@ void Connection::send_rst_stream(std::uint32_t stream_id, ErrorCode code) {
   f.stream_id = stream_id;
   f.payload = encode_rst_stream(code);
   ++stats_.rst_sent;
+  metrics_.rst_sent.inc();
   write_frame(std::move(f));
+  trace_stream_state(stream_id, before);
   destroy_stream_if_closed(stream_id);
 }
 
@@ -291,7 +331,24 @@ void Connection::pump() {
     if (tcp_buffered >= cfg_.tcp_send_watermark) break;
 
     const std::uint32_t id = pick_ready_stream();
-    if (id == 0) break;
+    if (id == 0) {
+      // Data is waiting but no stream may send: a flow-control stall (the
+      // send windows are exhausted until the peer's WINDOW_UPDATE arrives).
+      if (streams_with_pending_data() > 0) {
+        metrics_.flow_stalls.inc();
+        auto& tr = obs::Tracer::instance();
+        if (tr.enabled(obs::Component::kH2)) {
+          tr.instant(obs::Component::kH2, "flow-stall", loop_.now(),
+                     is_server_ ? obs::track::kServer : obs::track::kClient, 0,
+                     obs::TraceArgs()
+                         .add("pending_bytes", pending_data_bytes())
+                         .add("conn_window",
+                              static_cast<std::int64_t>(conn_send_window_.available()))
+                         .take());
+        }
+      }
+      break;
+    }
     Stream& s = *find_stream(id);
 
     std::size_t n = std::min({s.queued_bytes(), cfg_.data_chunk_size,
@@ -315,8 +372,10 @@ void Connection::pump() {
     write_frame(std::move(f));
 
     if (end) {
+      const StreamState before = s.state();
       s.flush_queue();
       s.on_send_data_end();
+      trace_stream_state(id, before);
       destroy_stream_if_closed(id);
     }
   }
@@ -342,6 +401,7 @@ void Connection::on_plaintext(std::span<const std::uint8_t> bytes) {
 
   while (auto f = decoder_.next()) {
     ++stats_.frames_received;
+    metrics_.frames_received.inc();
     handle_frame(std::move(*f));
     if (dead_) return;
   }
@@ -354,6 +414,16 @@ void Connection::handle_frame(Frame&& f) {
   sim::logf(sim::LogLevel::kTrace, loop_.now(), is_server_ ? "h2.srv" : "h2.cli",
             "recv %s sid=%u len=%zu flags=%02x", to_string(f.type), f.stream_id,
             f.payload.size(), f.flags);
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kH2)) {
+    tr.instant(obs::Component::kH2, std::string("rx ") + to_string(f.type),
+               loop_.now(), is_server_ ? obs::track::kServer : obs::track::kClient,
+               f.stream_id,
+               obs::TraceArgs()
+                   .add("len", f.payload.size())
+                   .add("flags", static_cast<std::uint64_t>(f.flags))
+                   .take());
+  }
 
   if (assembling_headers_ && f.type != FrameType::kContinuation) {
     connection_error(ErrorCode::kProtocolError,
@@ -391,9 +461,11 @@ void Connection::handle_data(const Frame& f) {
   Stream* s = find_stream(f.stream_id);
   const bool end = f.has_flag(flags::kEndStream);
   if (s && s->can_recv_data()) {
+    const StreamState before = s->state();
     s->recv_window().consume(len);
     s->on_recv_data(end);
     stats_.data_bytes_received += f.payload.size();
+    trace_stream_state(f.stream_id, before);
     on_remote_data(f.stream_id, std::span(f.payload), end);
     replenish_recv_windows(f.stream_id, f.payload.size());
     destroy_stream_if_closed(f.stream_id);
@@ -510,10 +582,12 @@ void Connection::finish_header_block(std::uint32_t stream_id, bool end_stream,
     highest_remote_stream_ = stream_id;
     s = &create_stream(stream_id);
   }
+  const StreamState before = s->state();
   if (!s->on_recv_headers(end_stream)) {
     connection_error(ErrorCode::kProtocolError, "HEADERS in invalid state");
     return;
   }
+  trace_stream_state(stream_id, before);
   on_remote_headers(stream_id, *headers, end_stream);
   destroy_stream_if_closed(stream_id);
 }
@@ -576,12 +650,24 @@ void Connection::handle_rst(const Frame& f) {
     return;
   }
   ++stats_.rst_received;
+  metrics_.rst_received.inc();
   Stream* s = find_stream(f.stream_id);
   if (s) {
     // The paper's key server-side mechanic (Fig. 6): the reset flushes all
     // of this stream's queued object segments from the server queue.
+    const StreamState before = s->state();
+    const std::size_t flushed = s->queued_bytes();
     s->flush_queue();
     s->on_recv_rst();
+    trace_stream_state(f.stream_id, before);
+    auto& tr = obs::Tracer::instance();
+    if (flushed > 0 && tr.enabled(obs::Component::kH2)) {
+      // The flush itself is the paper's Figure-6 signal: make it visible.
+      tr.instant(obs::Component::kH2, "rst-flush", loop_.now(),
+                 is_server_ ? obs::track::kServer : obs::track::kClient,
+                 f.stream_id,
+                 obs::TraceArgs().add("flushed_bytes", flushed).take());
+    }
   }
   on_remote_rst(f.stream_id, *code);
   destroy_stream_if_closed(f.stream_id);

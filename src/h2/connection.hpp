@@ -13,6 +13,7 @@
 #include "h2/stream.hpp"
 #include "hpack/decoder.hpp"
 #include "hpack/encoder.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 #include "tls/session.hpp"
@@ -206,6 +207,21 @@ class Connection {
 
   std::vector<std::uint32_t> rr_order_;  // round-robin rotation state
   std::function<void(const Frame&, sim::TimePoint)> frame_tap_;
+
+  // Process-wide observability handles (aggregate across connections).
+  struct Metrics {
+    obs::Counter frames_sent;
+    obs::Counter frames_received;
+    obs::Counter data_bytes_sent;
+    obs::Counter rst_sent;
+    obs::Counter rst_received;
+    obs::Counter streams_opened;
+    obs::Counter flow_stalls;
+  };
+  Metrics metrics_;
+  /// Emits a stream state-transition instant when `before` differs from the
+  /// stream's current state (call after any state-changing operation).
+  void trace_stream_state(std::uint32_t stream_id, StreamState before);
 
  protected:
   std::uint32_t next_promised_stream_ = 2;  // server push ids (even)

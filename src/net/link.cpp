@@ -3,27 +3,53 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "sim/log.hpp"
 
 namespace h2sim::net {
 
 Link::Link(sim::EventLoop& loop, Config cfg, std::string name)
-    : loop_(loop), cfg_(cfg), name_(std::move(name)), loss_rng_(cfg.loss_seed) {}
+    : loop_(loop), cfg_(cfg), name_(std::move(name)), loss_rng_(cfg.loss_seed) {
+  auto& reg = obs::MetricsRegistry::instance();
+  metrics_.delivered = reg.counter("net.link_delivered");
+  metrics_.dropped = reg.counter("net.link_drops");
+  metrics_.random_losses = reg.counter("net.link_random_losses");
+  metrics_.queue_depth = reg.histogram("net." + name_ + ".queue_depth_bytes",
+                                       obs::exponential_buckets(1024, 2.0, 10));
+}
 
 void Link::send(Packet&& p) {
   if (cfg_.loss_rate > 0 && loss_rng_.bernoulli(cfg_.loss_rate)) {
     ++stats_.random_losses;
+    metrics_.random_losses.inc();
     sim::logf(sim::LogLevel::kDebug, loop_.now(), name_.c_str(),
               "random loss of %s", p.describe().c_str());
+    auto& tr = obs::Tracer::instance();
+    if (tr.enabled(obs::Component::kNet)) {
+      tr.instant(obs::Component::kNet, "loss:" + name_, loop_.now(),
+                 obs::track::kNetwork, p.tcp.src_port,
+                 obs::TraceArgs().add("packet", p.describe()).take());
+    }
     return;
   }
   if (queued_bytes_ + p.wire_size() > cfg_.queue_limit_bytes) {
     ++stats_.dropped_packets;
+    metrics_.dropped.inc();
     sim::logf(sim::LogLevel::kDebug, loop_.now(), name_.c_str(),
               "queue overflow, dropping %s", p.describe().c_str());
+    auto& tr = obs::Tracer::instance();
+    if (tr.enabled(obs::Component::kNet)) {
+      tr.instant(obs::Component::kNet, "drop:" + name_, loop_.now(),
+                 obs::track::kNetwork, p.tcp.src_port,
+                 obs::TraceArgs()
+                     .add("queued_bytes", queued_bytes_)
+                     .add("packet", p.describe())
+                     .take());
+    }
     return;
   }
   queued_bytes_ += p.wire_size();
+  metrics_.queue_depth.observe(static_cast<double>(queued_bytes_));
   queue_.push_back(std::move(p));
   if (!transmitting_) try_transmit();
 }
@@ -51,6 +77,7 @@ void Link::try_transmit() {
     const sim::Duration prop = cfg_.delay;
     ++stats_.delivered_packets;
     stats_.delivered_bytes += p.wire_size();
+    metrics_.delivered.inc();
     loop_.schedule_after(prop, [this, p = std::move(p)]() mutable {
       assert(sink_ && "link sink not attached");
       sink_(std::move(p));

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 
@@ -68,6 +69,14 @@ class Link {
   bool transmitting_ = false;
   sim::Rng loss_rng_;
   Stats stats_;
+
+  struct Metrics {
+    obs::Counter delivered;       // net.link_delivered (all links)
+    obs::Counter dropped;         // net.link_drops (all links)
+    obs::Counter random_losses;   // net.link_random_losses (all links)
+    obs::Histogram queue_depth;   // net.<name>.queue_depth_bytes (per link)
+  };
+  Metrics metrics_;
 };
 
 }  // namespace h2sim::net

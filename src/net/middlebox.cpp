@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "sim/log.hpp"
 
 namespace h2sim::net {
@@ -45,16 +46,35 @@ void Middlebox::process(Packet&& p, Direction dir) {
   if (tap_) tap_(p, dir, now);
 
   Decision d = policy_ ? policy_->on_packet(p, dir, now) : Decision::forward();
+  auto& tr = obs::Tracer::instance();
   switch (d.action) {
     case Decision::Action::kDrop:
       ++stats_.dropped;
+      metrics_.dropped.inc();
       sim::logf(sim::LogLevel::kDebug, now, "middlebox", "drop %s (%s)",
                 p.describe().c_str(), to_string(dir));
+      if (tr.enabled(obs::Component::kNet)) {
+        tr.instant(obs::Component::kNet, "mb-drop", now, obs::track::kNetwork,
+                   p.tcp.src_port,
+                   obs::TraceArgs()
+                       .add("dir", to_string(dir))
+                       .add("packet", p.describe())
+                       .take());
+      }
       return;
     case Decision::Action::kHold: {
       ++stats_.held;
+      metrics_.held.inc();
       sim::logf(sim::LogLevel::kDebug, now, "middlebox", "hold %.3fms %s",
                 d.hold_for.to_millis(), p.describe().c_str());
+      if (tr.enabled(obs::Component::kNet)) {
+        tr.complete(obs::Component::kNet, "mb-hold", now, now + d.hold_for,
+                    obs::track::kNetwork, p.tcp.src_port,
+                    obs::TraceArgs()
+                        .add("dir", to_string(dir))
+                        .add("packet", p.describe())
+                        .take());
+      }
       loop_.schedule_after(d.hold_for, [this, p = std::move(p), dir]() mutable {
         forward(std::move(p), dir);
       });
@@ -73,11 +93,13 @@ void Middlebox::forward(Packet&& p, Direction dir) {
     const auto wait = limiter->admit(bits, loop_.now());
     if (!wait) {
       ++stats_.dropped;  // shaping queue overflow
+      metrics_.dropped.inc();
       return;
     }
     if (*wait > sim::Duration::zero()) {
       loop_.schedule_after(*wait, [this, p = std::move(p), dir]() mutable {
         ++stats_.forwarded;
+        metrics_.forwarded.inc();
         auto& out = dir == Direction::kClientToServer ? to_server_ : to_client_;
         assert(out);
         out(std::move(p));
@@ -86,6 +108,7 @@ void Middlebox::forward(Packet&& p, Direction dir) {
     }
   }
   ++stats_.forwarded;
+  metrics_.forwarded.inc();
   auto& out = dir == Direction::kClientToServer ? to_server_ : to_client_;
   assert(out);
   out(std::move(p));

@@ -7,6 +7,7 @@
 // std::optional is used for RateLimiter::admit's drop signalling.
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 
 namespace h2sim::net {
@@ -75,7 +76,12 @@ class Middlebox {
     std::uint64_t held = 0;
   };
 
-  explicit Middlebox(sim::EventLoop& loop) : loop_(loop) {}
+  explicit Middlebox(sim::EventLoop& loop) : loop_(loop) {
+    auto& reg = obs::MetricsRegistry::instance();
+    metrics_.forwarded = reg.counter("net.mb_forwarded");
+    metrics_.dropped = reg.counter("net.mb_dropped");
+    metrics_.held = reg.counter("net.mb_held");
+  }
 
   Middlebox(const Middlebox&) = delete;
   Middlebox& operator=(const Middlebox&) = delete;
@@ -118,6 +124,13 @@ class Middlebox {
   std::optional<RateLimiter> limiter_c2s_;
   std::optional<RateLimiter> limiter_s2c_;
   Stats stats_;
+
+  struct Metrics {
+    obs::Counter forwarded;
+    obs::Counter dropped;
+    obs::Counter held;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace h2sim::net

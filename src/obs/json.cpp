@@ -1,0 +1,198 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace h2sim::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = 0;
+    while (word[n]) ++n;
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out.kind = Value::Kind::kString;
+        return parse_string(out.string);
+      }
+      case 't':
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = Value::Kind::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char esc = s_[pos_ + 1];
+        switch (esc) {
+          case '"': out += '"'; pos_ += 2; break;
+          case '\\': out += '\\'; pos_ += 2; break;
+          case '/': out += '/'; pos_ += 2; break;
+          case 'b': out += '\b'; pos_ += 2; break;
+          case 'f': out += '\f'; pos_ += 2; break;
+          case 'n': out += '\n'; pos_ += 2; break;
+          case 'r': out += '\r'; pos_ += 2; break;
+          case 't': out += '\t'; pos_ += 2; break;
+          case 'u': {
+            if (pos_ + 6 > s_.size()) return false;
+            for (std::size_t i = pos_ + 2; i < pos_ + 6; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[i]))) return false;
+            }
+            out.append(s_, pos_, 6);  // keep the escape verbatim
+            pos_ += 6;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {
+    }
+    if (eat('0')) {
+      // no leading zeros
+    } else {
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (eat('.')) {
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out.kind = Value::Kind::kNumber;
+    out.number = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace h2sim::obs::json

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace h2sim::obs::json {
+
+/// Minimal JSON DOM used to validate and inspect the tracer's / registry's
+/// own exports (round-trip tests, example post-processing). Not a general
+/// purpose library: strict RFC 8259 syntax, numbers as double, no
+/// surrogate-pair decoding (escapes are preserved verbatim in strings).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. nullopt on any syntax error or trailing
+/// garbage.
+std::optional<Value> parse(const std::string& text);
+
+}  // namespace h2sim::obs::json

@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace h2sim::obs {
+
+std::vector<double> linear_buckets(double start, double width, std::size_t n) {
+  std::vector<double> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) edges.push_back(start + width * static_cast<double>(i));
+  return edges;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t n) {
+  std::vector<double> edges;
+  edges.reserve(n);
+  double e = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back(e);
+    e *= factor;
+  }
+  return edges;
+}
+
+void Histogram::observe(double v) const {
+  if (!d_) return;
+  const auto it = std::lower_bound(d_->edges.begin(), d_->edges.end(), v);
+  ++d_->counts[static_cast<std::size_t>(it - d_->edges.begin())];
+  ++d_->count;
+  d_->sum += v;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<std::uint64_t>(0);
+  return Counter(slot.get());
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<double>(0.0);
+  return Gauge(slot.get());
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> edges) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<HistogramData>();
+    slot->edges = std::move(edges);
+    slot->counts.assign(slot->edges.size() + 1, 0);
+  }
+  return Histogram(slot.get());
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : *it->second;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : *it->second;
+}
+
+const HistogramData* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, v] : counters_) *v = 0;
+  for (auto& [name, v] : gauges_) *v = 0.0;
+  for (auto& [name, h] : histograms_) {
+    std::fill(h->counts.begin(), h->counts.end(), 0);
+    h->count = 0;
+    h->sum = 0.0;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& [name, v] : counters_) s.counters[name] = *v;
+  for (const auto& [name, v] : gauges_) s.gauges[name] = *v;
+  for (const auto& [name, h] : histograms_) s.histograms[name] = *h;
+  return s;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, name);
+    out += ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, name);
+    out += ": ";
+    append_double(out, v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_quoted(out, name);
+    out += ": {\"edges\": [";
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      if (i) out += ", ";
+      append_double(out, h.edges[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) + ", \"sum\": ";
+    append_double(out, h.sum);
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool write_metrics_json(const MetricsSnapshot& snap, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = metrics_json(snap);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace h2sim::obs

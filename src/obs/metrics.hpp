@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace h2sim::obs {
+
+/// Fixed-bucket histogram state. `edges` are the upper bounds of the first
+/// `edges.size()` buckets; one overflow bucket follows, so
+/// `counts.size() == edges.size() + 1`. A sample `v` lands in the first
+/// bucket whose edge satisfies `v <= edge`.
+struct HistogramData {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramData&) const = default;
+};
+
+/// Convenience bucket-edge generators.
+std::vector<double> linear_buckets(double start, double width, std::size_t n);
+std::vector<double> exponential_buckets(double start, double factor, std::size_t n);
+
+/// Cheap handles into the registry. A handle is a raw pointer to storage the
+/// registry owns; the registry keeps registrations (and therefore handle
+/// addresses) stable across reset(), so components may cache handles for the
+/// process lifetime. Default-constructed handles are inert no-ops.
+class Counter {
+ public:
+  Counter() = default;
+  void inc() const {
+    if (v_) ++*v_;
+  }
+  void add(std::uint64_t n) const {
+    if (v_) *v_ += n;
+  }
+  std::uint64_t value() const { return v_ ? *v_ : 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* v) : v_(v) {}
+  std::uint64_t* v_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const {
+    if (v_) *v_ = v;
+  }
+  void add(double v) const {
+    if (v_) *v_ += v;
+  }
+  double value() const { return v_ ? *v_ : 0.0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* v) : v_(v) {}
+  double* v_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const;
+  const HistogramData* data() const { return d_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(HistogramData* d) : d_(d) {}
+  HistogramData* d_ = nullptr;
+};
+
+/// Point-in-time copy of every registered metric, ready for export or
+/// comparison. Maps are name-sorted, so iteration (and the JSON emitted from
+/// it) is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Process-wide metrics registry. Names follow `component.metric`
+/// (e.g. "tcp.retransmits_fast"); registering the same name twice returns a
+/// handle to the same storage, which is how per-connection instances
+/// aggregate into one process counter. Single-threaded, like the simulator.
+///
+/// reset() zeroes every value but keeps registrations, so a harness can make
+/// back-to-back trials start from identical state without invalidating the
+/// handles components cached at construction.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// Re-registering an existing histogram ignores `edges` and returns the
+  /// original storage.
+  Histogram histogram(const std::string& name, std::vector<double> edges);
+
+  /// Lookup without registering; zero / nullptr when absent.
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  const HistogramData* find_histogram(const std::string& name) const;
+
+  void reset();
+  MetricsSnapshot snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+  std::map<std::string, std::unique_ptr<std::uint64_t>> counters_;
+  std::map<std::string, std::unique_ptr<double>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramData>> histograms_;
+};
+
+/// Renders a snapshot as a stable, human-diffable JSON document.
+std::string metrics_json(const MetricsSnapshot& snap);
+/// Writes metrics_json(snap) to `path`; false (with errno intact) on failure.
+bool write_metrics_json(const MetricsSnapshot& snap, const std::string& path);
+
+}  // namespace h2sim::obs

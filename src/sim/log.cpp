@@ -1,17 +1,72 @@
 #include "sim/log.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace h2sim::sim {
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger::Logger() {
+  if (const char* spec = std::getenv("H2SIM_LOG_LEVEL")) apply_spec(spec);
+}
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+bool Logger::apply_spec(std::string_view spec) {
+  bool all_ok = true;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view entry = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    // Trim surrounding whitespace.
+    while (!entry.empty() && std::isspace(static_cast<unsigned char>(entry.front())))
+      entry.remove_prefix(1);
+    while (!entry.empty() && std::isspace(static_cast<unsigned char>(entry.back())))
+      entry.remove_suffix(1);
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      const auto level = parse_log_level(entry);
+      if (level) {
+        level_ = *level;
+      } else {
+        all_ok = false;
+      }
+      continue;
+    }
+    const auto level = parse_log_level(entry.substr(eq + 1));
+    if (level && eq > 0) {
+      set_component_level(std::string(entry.substr(0, eq)), *level);
+    } else {
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
 void Logger::log(LogLevel level, TimePoint t, const char* component,
                  const std::string& msg) {
-  if (level < level_) return;
+  if (!should_log(level, component)) return;
   static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
   std::fprintf(stderr, "[%12.3fms] %-5s %-10s %s\n", t.to_millis(),
                names[static_cast<int>(level)], component, msg.c_str());
@@ -19,7 +74,7 @@ void Logger::log(LogLevel level, TimePoint t, const char* component,
 
 void logf(LogLevel level, TimePoint t, const char* component, const char* fmt, ...) {
   Logger& logger = Logger::instance();
-  if (level < logger.level()) return;
+  if (!logger.should_log(level, component)) return;
   char buf[1024];
   va_list ap;
   va_start(ap, fmt);

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdarg>
+#include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "sim/time.hpp"
 
@@ -9,8 +12,19 @@ namespace h2sim::sim {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-insensitive).
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
 /// Process-wide log sink with a simulated-time prefix. Off by default so test
 /// and benchmark output stays clean; examples flip it on for narrative runs.
+///
+/// The environment variable H2SIM_LOG_LEVEL overrides the default at startup.
+/// Its value is a comma-separated spec: a bare level name sets the global
+/// threshold, `component=level` entries set per-component thresholds, e.g.
+///   H2SIM_LOG_LEVEL=info                 # everything at info
+///   H2SIM_LOG_LEVEL=tcp=trace            # only tcp, everything else off
+///   H2SIM_LOG_LEVEL=warn,browser=debug   # warn globally, browser verbose
 class Logger {
  public:
   static Logger& instance();
@@ -18,14 +32,38 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
 
+  /// Per-component threshold; overrides the global level for that component
+  /// string (the `component` argument call sites pass to logf).
+  void set_component_level(std::string component, LogLevel level) {
+    component_levels_[std::move(component)] = level;
+  }
+  void clear_component_levels() { component_levels_.clear(); }
+
+  /// Threshold in force for this component: its override if one is set,
+  /// otherwise the global level.
+  LogLevel effective_level(const char* component) const {
+    if (component_levels_.empty()) return level_;  // common fast path
+    const auto it = component_levels_.find(std::string_view(component));
+    return it != component_levels_.end() ? it->second : level_;
+  }
+  bool should_log(LogLevel level, const char* component) const {
+    return level >= effective_level(component);
+  }
+
+  /// Applies a H2SIM_LOG_LEVEL-style spec (see class comment). Unparseable
+  /// entries are skipped; returns false if any entry was skipped.
+  bool apply_spec(std::string_view spec);
+
   void log(LogLevel level, TimePoint t, const char* component, const std::string& msg);
 
  private:
-  Logger() = default;
+  Logger();  // applies H2SIM_LOG_LEVEL when present
   LogLevel level_ = LogLevel::kOff;
+  std::map<std::string, LogLevel, std::less<>> component_levels_;
 };
 
-/// printf-style convenience wrapper.
+/// printf-style convenience wrapper. Formatting is skipped entirely when the
+/// component's effective level filters the message out.
 void logf(LogLevel level, TimePoint t, const char* component, const char* fmt, ...)
     __attribute__((format(printf, 4, 5)));
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "sim/log.hpp"
 
 namespace h2sim::tcp {
@@ -14,6 +15,16 @@ using net::tcpflag::kRst;
 using net::tcpflag::kSyn;
 
 std::uint64_t TcpConnection::next_packet_id_ = 1;
+
+namespace {
+
+/// Trace pid for a connection endpoint: node 1 is the client host, everything
+/// else renders under the server track.
+std::uint32_t trace_pid(net::NodeId node) {
+  return node == 1 ? obs::track::kClient : obs::track::kServer;
+}
+
+}  // namespace
 
 const char* to_string(TcpConnection::State s) {
   switch (s) {
@@ -49,15 +60,41 @@ TcpConnection::TcpConnection(sim::EventLoop& loop, const TcpConfig& cfg,
       buf_seq_(initial_seq + 1),
       cwnd_(cfg.initial_cwnd_segments * cfg.mss),
       ssthresh_(cfg.recv_window),
-      rto_(cfg.initial_rto) {}
+      rto_(cfg.initial_rto) {
+  auto& reg = obs::MetricsRegistry::instance();
+  metrics_.segments_sent = reg.counter("tcp.segments_sent");
+  metrics_.segments_received = reg.counter("tcp.segments_received");
+  metrics_.retransmits_fast = reg.counter("tcp.retransmits_fast");
+  metrics_.retransmits_rto = reg.counter("tcp.retransmits_rto");
+  metrics_.rto_expirations = reg.counter("tcp.rto_expirations");
+  metrics_.dup_acks_received = reg.counter("tcp.dup_acks_received");
+  metrics_.connections_aborted = reg.counter("tcp.connections_aborted");
+  metrics_.cwnd_bytes =
+      reg.histogram("tcp.cwnd_bytes", obs::exponential_buckets(1460, 2.0, 14));
+}
 
 TcpConnection::~TcpConnection() { cancel_rto(); }
 
 void TcpConnection::become(State s) {
   sim::logf(sim::LogLevel::kTrace, loop_.now(), "tcp", "%u:%u %s -> %s",
             local_node_, local_port_, to_string(state_), to_string(s));
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kTcp)) {
+    tr.instant(obs::Component::kTcp, std::string("tcp:") + to_string(s),
+               loop_.now(), trace_pid(local_node_), local_port_,
+               obs::TraceArgs().add("from", to_string(state_)).take());
+  }
   if (s == State::kEstablished) last_forward_progress_ = loop_.now();
   state_ = s;
+}
+
+void TcpConnection::trace_cwnd() {
+  metrics_.cwnd_bytes.observe(static_cast<double>(cwnd_));
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kTcp)) {
+    tr.counter(obs::Component::kTcp, "cwnd", loop_.now(), trace_pid(local_node_),
+               local_port_, static_cast<double>(cwnd_));
+  }
 }
 
 void TcpConnection::emit(std::uint8_t flags, std::uint32_t seq,
@@ -81,6 +118,7 @@ void TcpConnection::emit(std::uint8_t flags, std::uint32_t seq,
                      send_buf_.begin() + static_cast<std::ptrdiff_t>(off + payload_len));
   }
   ++stats_.segments_sent;
+  metrics_.segments_sent.inc();
   if (flags & kAck) last_ack_sent_ = rcv_nxt_;
   send_fn_(std::move(p));
 }
@@ -119,6 +157,13 @@ void TcpConnection::close() {
 
 void TcpConnection::abort(std::string_view reason) {
   if (state_ == State::kAborted) return;
+  metrics_.connections_aborted.inc();
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kTcp)) {
+    tr.instant(obs::Component::kTcp, "abort", loop_.now(),
+               trace_pid(local_node_), local_port_,
+               obs::TraceArgs().add("reason", reason).take());
+  }
   emit(kRst | kAck, snd_nxt_, 0, false);
   cancel_rto();
   become(State::kAborted);
@@ -190,11 +235,19 @@ void TcpConnection::retransmit_from(std::uint32_t seq, const char* why,
   }
   if (rto_driven) {
     ++stats_.retransmits_rto;
+    metrics_.retransmits_rto.inc();
   } else {
     ++stats_.retransmits_fast;
+    metrics_.retransmits_fast.inc();
   }
   sim::logf(sim::LogLevel::kDebug, loop_.now(), "tcp", "%u:%u retransmit seq=%u (%s)",
             local_node_, local_port_, seq, why);
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kTcp)) {
+    tr.instant(obs::Component::kTcp, "retransmit", loop_.now(),
+               trace_pid(local_node_), local_port_,
+               obs::TraceArgs().add("seq", seq).add("why", why).take());
+  }
 }
 
 void TcpConnection::arm_rto() {
@@ -212,6 +265,15 @@ void TcpConnection::on_rto() {
     return;
   }
   ++stats_.rto_expirations;
+  metrics_.rto_expirations.inc();
+  {
+    auto& tr = obs::Tracer::instance();
+    if (tr.enabled(obs::Component::kTcp)) {
+      tr.instant(obs::Component::kTcp, "rto", loop_.now(),
+                 trace_pid(local_node_), local_port_,
+                 obs::TraceArgs().add("rto_ms", rto_.to_millis()).take());
+    }
+  }
   ++consecutive_rto_;
   if (consecutive_rto_ > cfg_.max_rto_retries) {
     sim::logf(sim::LogLevel::kWarn, loop_.now(), "tcp",
@@ -243,6 +305,7 @@ void TcpConnection::on_rto() {
     const std::size_t flight = snd_nxt_ - snd_una_;
     ssthresh_ = std::max(flight / 2, 2 * cfg_.mss);
     cwnd_ = cfg_.mss;
+    trace_cwnd();
     in_fast_recovery_ = false;
     dupacks_ = 0;
     retransmit_from(snd_una_, "rto", true);
@@ -271,6 +334,7 @@ void TcpConnection::update_rtt(sim::Duration sample) {
 
 void TcpConnection::handle_segment(const net::Packet& p) {
   ++stats_.segments_received;
+  metrics_.segments_received.inc();
   if (state_ == State::kAborted || state_ == State::kClosed) {
     if (p.tcp.syn() && state_ == State::kClosed) {
       // Passive open.
@@ -346,6 +410,7 @@ void TcpConnection::handle_ack(const net::Packet& p) {
   if (ack == snd_una_ && p.payload.empty() && !p.tcp.fin() &&
       snd_una_ != snd_nxt_) {
     ++stats_.dup_acks_received;
+    metrics_.dup_acks_received.inc();
     ++dupacks_;
     sim::logf(sim::LogLevel::kTrace, loop_.now(), "tcp",
               "%u:%u dupack #%d ack=%u flight=%zu", local_node_, local_port_,
@@ -410,6 +475,7 @@ void TcpConnection::on_new_ack(std::uint32_t ack, std::size_t newly_acked) {
       cwnd_ += std::max<std::size_t>(1, cfg_.mss * cfg_.mss / cwnd_);  // CA
     }
   }
+  trace_cwnd();
 
   // Our FIN acknowledged?
   if (fin_sent_ && seq_gt(snd_una_, fin_seq_)) {
@@ -441,6 +507,7 @@ void TcpConnection::enter_fast_retransmit() {
   in_fast_recovery_ = true;
   retransmit_from(snd_una_, "fast-retransmit", false);
   cwnd_ = ssthresh_ + 3 * cfg_.mss;
+  trace_cwnd();
 }
 
 void TcpConnection::handle_payload(const net::Packet& p) {

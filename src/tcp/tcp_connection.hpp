@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "tcp/tcp_types.hpp"
 
@@ -160,6 +161,22 @@ class TcpConnection {
   std::uint32_t last_ack_sent_ = 0;
 
   TcpStats stats_;
+
+  // Process-wide observability (obs/): per-connection handles into the shared
+  // registry — increments aggregate across every connection in the trial.
+  struct Metrics {
+    obs::Counter segments_sent;
+    obs::Counter segments_received;
+    obs::Counter retransmits_fast;
+    obs::Counter retransmits_rto;
+    obs::Counter rto_expirations;
+    obs::Counter dup_acks_received;
+    obs::Counter connections_aborted;
+    obs::Histogram cwnd_bytes;
+  };
+  Metrics metrics_;
+  void trace_cwnd();
+
   static std::uint64_t next_packet_id_;
 };
 

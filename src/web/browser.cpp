@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "http/message.hpp"
+#include "obs/trace.hpp"
 #include "sim/log.hpp"
 
 namespace h2sim::web {
@@ -20,6 +21,14 @@ Browser::Browser(sim::EventLoop& loop, h2::ClientConnection& conn,
       permutation_(permutation),
       rng_(rng),
       cfg_(cfg) {
+  auto& reg = obs::MetricsRegistry::instance();
+  metrics_.requests_sent = reg.counter("web.requests_sent");
+  metrics_.reissues = reg.counter("web.reissues");
+  metrics_.rerequests = reg.counter("web.rerequests");
+  metrics_.reset_sweeps = reg.counter("web.reset_sweeps");
+  metrics_.objects_completed = reg.counter("web.objects_completed");
+  metrics_.page_failures = reg.counter("web.page_failures");
+
   // Resolve EMBLEM_k placeholders via the survey-result permutation: the
   // k-th image requested is the party ranked k-th by this user.
   steps_ = site.schedule;
@@ -164,10 +173,21 @@ void Browser::issue(std::size_t index, bool is_rerequest) {
     o.first_request_time = loop_.now();
     last_issue_time_ = loop_.now();
   }
-  (void)is_rerequest;
+  metrics_.requests_sent.inc();
+  if (is_rerequest) metrics_.rerequests.inc();
 
   sim::logf(sim::LogLevel::kDebug, loop_.now(), "browser", "GET %s (sid=%u%s)",
             o.path.c_str(), sid, o.reissues > 0 ? ", reissue" : "");
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kWeb)) {
+    tr.instant(obs::Component::kWeb, "GET " + o.label, loop_.now(),
+               obs::track::kClient, sid,
+               obs::TraceArgs()
+                   .add("path", o.path)
+                   .add("reissue", o.reissues)
+                   .add("rerequest", is_rerequest ? 1 : 0)
+                   .take());
+  }
 
   // Arm the stall (reissue) and reset timers.
   o.stall_timer.cancel();
@@ -232,8 +252,19 @@ void Browser::object_completed(std::size_t index, std::uint32_t winning_sid) {
     }
   }
   if (index == html_index_ && !html_complete_) html_complete_ = true;
+  metrics_.objects_completed.inc();
   sim::logf(sim::LogLevel::kDebug, loop_.now(), "browser", "done %s (%zu bytes)",
             o.path.c_str(), o.stream_bytes[winning_sid]);
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kWeb)) {
+    tr.complete(obs::Component::kWeb, o.label, o.first_request_time, loop_.now(),
+                obs::track::kClient, winning_sid,
+                obs::TraceArgs()
+                    .add("path", o.path)
+                    .add("bytes", o.stream_bytes[winning_sid])
+                    .add("reissues", o.reissues)
+                    .take());
+  }
   dispatch();  // may unpark gated or completion-gated re-requested steps
 }
 
@@ -259,6 +290,7 @@ void Browser::stall_fired(std::size_t index) {
     return;
   }
   ++o.reissues;
+  metrics_.reissues.inc();
   sim::logf(sim::LogLevel::kDebug, loop_.now(), "browser",
             "stalled, reissuing %s (attempt %d)", o.path.c_str(), o.reissues);
   issue(index, /*is_rerequest=*/false);
@@ -271,12 +303,19 @@ void Browser::reset_fired(std::size_t index) {
 }
 
 void Browser::perform_reset_sweep() {
+  metrics_.reset_sweeps.inc();
   if (++reset_sweeps_ > cfg_.max_resets) {
     fail("too many reset sweeps");
     return;
   }
   sim::logf(sim::LogLevel::kInfo, loop_.now(), "browser",
             "persistent stall: RST_STREAM sweep #%d", reset_sweeps_);
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kWeb)) {
+    tr.instant(obs::Component::kWeb, "reset-sweep", loop_.now(),
+               obs::track::kClient, 0,
+               obs::TraceArgs().add("sweep", reset_sweeps_).take());
+  }
   // Reset every stream of every incomplete issued object; the objects go
   // back to the un-issued pool and are re-requested after a backoff.
   for (std::size_t i = 0; i < objects_.size(); ++i) {
@@ -317,8 +356,15 @@ void Browser::fail(std::string reason) {
   }
   dispatch_timer_.cancel();
   deadline_timer_.cancel();
+  metrics_.page_failures.inc();
   sim::logf(sim::LogLevel::kInfo, loop_.now(), "browser", "page load failed: %s",
             failure_reason_.c_str());
+  auto& tr = obs::Tracer::instance();
+  if (tr.enabled(obs::Component::kWeb)) {
+    tr.instant(obs::Component::kWeb, "page-failed", loop_.now(),
+               obs::track::kClient, 0,
+               obs::TraceArgs().add("reason", failure_reason_).take());
+  }
 }
 
 }  // namespace h2sim::web

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "h2/client.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "web/website.hpp"
 
@@ -119,6 +120,16 @@ class Browser {
   sim::TimerHandle dispatch_timer_;
   sim::TimerHandle deadline_timer_;
   int reset_sweeps_ = 0;
+
+  struct Metrics {
+    obs::Counter requests_sent;
+    obs::Counter reissues;
+    obs::Counter rerequests;
+    obs::Counter reset_sweeps;
+    obs::Counter objects_completed;
+    obs::Counter page_failures;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace h2sim::web
