@@ -7,32 +7,35 @@
 // the client gets chattier.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int trials = bench::trials_arg(argc, argv, 30);
+  bench::SweepSession sweep("bench_ablation_wu");
 
   TablePrinter table({"client WU batch", "wire retransmissions (mean)",
                       "html not multiplexed", "broken"});
   for (const std::size_t batch : {4096u, 16384u, 32768u, 131072u, 1048576u}) {
+    experiment::TrialConfig proto;
+    proto.attack = experiment::jitter_only_config(sim::Duration::millis(50));
+    proto.attack.suppress_request_retransmissions = false;  // paper-faithful
+    proto.client_h2.window_update_batch = batch;
+    const auto results =
+        sweep.run("wu_batch=" + std::to_string(batch),
+                  bench::seed_sweep(proto, 47000, trials));
+
     std::vector<double> retrans;
     std::vector<bool> nomux;
     int broken = 0;
-    for (int t = 0; t < trials; ++t) {
-      experiment::TrialConfig cfg;
-      cfg.seed = 47000 + static_cast<std::uint64_t>(t);
-      cfg.attack = experiment::jitter_only_config(sim::Duration::millis(50));
-      cfg.attack.suppress_request_retransmissions = false;  // paper-faithful
-      cfg.client_h2.window_update_batch = batch;
-      const auto r = experiment::run_trial(cfg);
+    for (const auto& r : results) {
       if (!r.page_complete) {
         ++broken;
         continue;

@@ -3,29 +3,32 @@
 // DoM in the 80-99% range; only ~32% of downloads leave the HTML
 // non-multiplexed (Table I row 1).
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int trials = bench::trials_arg(argc, argv, 100);
+  bench::SweepSession sweep("bench_baseline_dom");
+
+  experiment::TrialConfig proto;
+  proto.attack.enabled = false;
+  const auto results =
+      sweep.run("baseline", bench::seed_sweep(proto, 1000, trials));
 
   std::vector<double> html_dom;
   std::vector<bool> html_not_muxed;
   std::vector<double> emblem_dom_min, emblem_dom_max;
   std::vector<double> retrans;
 
-  for (int t = 0; t < trials; ++t) {
-    experiment::TrialConfig cfg;
-    cfg.seed = 1000 + static_cast<std::uint64_t>(t);
-    cfg.attack.enabled = false;
-    const auto r = experiment::run_trial(cfg);
+  for (const auto& r : results) {
     if (!r.page_complete) continue;
 
     html_dom.push_back(r.interest[0].primary_dom * 100);

@@ -4,7 +4,6 @@
 // pays — quantifying the "unreasonable CPU and bandwidth overheads" claim.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "defense/defenses.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 namespace {
 
@@ -28,7 +28,8 @@ struct DefenseRow {
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int trials = bench::trials_arg(argc, argv, 30);
+  bench::SweepSession sweep("bench_defenses");
 
   const DefenseRow rows[] = {
       {"none", 0, 0, false},
@@ -46,18 +47,19 @@ int main(int argc, char** argv) {
                       "page load (mean)"});
 
   for (const DefenseRow& row : rows) {
+    experiment::TrialConfig proto;
+    proto.attack = experiment::full_attack_config();
+    proto.defense.pad_quantum = row.pad_quantum;
+    proto.defense.dummy_count = row.dummies;
+    proto.browser.randomize_embedded_order = row.randomize_order;
+    if (row.random_scheduler) {
+      proto.server_h2.scheduler = h2::SchedulerKind::kRandom;
+    }
+    const auto results =
+        sweep.run(row.name, bench::seed_sweep(proto, 52000, trials));
+
     std::vector<double> positions, load;
-    for (int t = 0; t < trials; ++t) {
-      experiment::TrialConfig cfg;
-      cfg.seed = 52000 + static_cast<std::uint64_t>(t);
-      cfg.attack = experiment::full_attack_config();
-      cfg.defense.pad_quantum = row.pad_quantum;
-      cfg.defense.dummy_count = row.dummies;
-      cfg.browser.randomize_embedded_order = row.randomize_order;
-      if (row.random_scheduler) {
-        cfg.server_h2.scheduler = h2::SchedulerKind::kRandom;
-      }
-      const auto r = experiment::run_trial(cfg);
+    for (const auto& r : results) {
       int pos = 0;
       for (int j = 1; j <= 8; ++j) {
         if (r.success[static_cast<std::size_t>(j)]) ++pos;

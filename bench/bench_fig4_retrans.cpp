@@ -4,17 +4,19 @@
 // duplicate copies intensify the multiplexing of the subsequent object.
 
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 40;
+  const int trials = bench::trials_arg(argc, argv, 40);
+  bench::SweepSession sweep("bench_fig4_retrans");
 
   // Note: duplicate object copies under pure jitter arrive mostly through
   // TCP-bundled retransmissions of held request bytes (several GETs per
@@ -24,15 +26,17 @@ int main(int argc, char** argv) {
                       "html copies (mean)", "requests spaced (refined mode)"});
   const int holds_ms[] = {0, 50, 150, 300, 600};
   for (const int hold : holds_ms) {
+    experiment::TrialConfig proto;
+    if (hold > 0) {
+      proto.attack = experiment::jitter_only_config(sim::Duration::millis(hold));
+      proto.attack.suppress_request_retransmissions = false;
+    }
+    const auto results =
+        sweep.run("faithful hold=" + std::to_string(hold) + "ms",
+                  bench::seed_sweep(proto, 80000, trials));
+
     std::vector<double> tcp_retrans, reissues, copies, suppressed;
-    for (int t = 0; t < trials; ++t) {
-      experiment::TrialConfig cfg;
-      cfg.seed = 80000 + static_cast<std::uint64_t>(t);
-      if (hold > 0) {
-        cfg.attack = experiment::jitter_only_config(sim::Duration::millis(hold));
-        cfg.attack.suppress_request_retransmissions = false;
-      }
-      const auto r = experiment::run_trial(cfg);
+    for (const auto& r : results) {
       if (!r.page_complete) continue;
       tcp_retrans.push_back(static_cast<double>(r.tcp_retransmits));
       reissues.push_back(static_cast<double>(r.browser_reissues));
@@ -40,15 +44,17 @@ int main(int argc, char** argv) {
       suppressed.push_back(0);
     }
     // Refined adversary comparison (suppression counter).
-    for (int t = 0; t < trials && hold > 0; ++t) {
-      experiment::TrialConfig cfg;
-      cfg.seed = 80000 + static_cast<std::uint64_t>(t);
-      cfg.attack = experiment::jitter_only_config(sim::Duration::millis(hold));
-      cfg.attack.suppress_request_retransmissions = true;
-      const auto r = experiment::run_trial(cfg);
-      if (!r.page_complete) continue;
-      // adversary_drops counts targeted s2c drops; suppression is separate.
-      suppressed.push_back(static_cast<double>(r.requests_spaced));
+    if (hold > 0) {
+      experiment::TrialConfig refined = proto;
+      refined.attack.suppress_request_retransmissions = true;
+      const auto refined_results =
+          sweep.run("refined hold=" + std::to_string(hold) + "ms",
+                    bench::seed_sweep(refined, 80000, trials));
+      for (const auto& r : refined_results) {
+        if (!r.page_complete) continue;
+        // adversary_drops counts targeted s2c drops; suppression is separate.
+        suppressed.push_back(static_cast<double>(r.requests_spaced));
+      }
     }
     table.add_row({std::to_string(hold) + " ms",
                    TablePrinter::fmt(analysis::mean(tcp_retrans), 1),

@@ -7,18 +7,19 @@
 //      paper's §IV-C observation).
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int trials = bench::trials_arg(argc, argv, 100);
+  bench::SweepSession sweep("bench_fig5_bandwidth");
 
   // The paper's sweep plus one point past its 1 Mbps floor ("it was not
   // possible to reduce the bandwidth beyond 1 Mbps — broken connection").
@@ -27,18 +28,21 @@ int main(int argc, char** argv) {
   TablePrinter table({"bandwidth", "retransmissions (mean)", "not muxed (any copy)",
                       "via actual object", "via retransmitted copy", "broken"});
   for (const double bw : mbps) {
+    experiment::TrialConfig proto;
+    proto.attack = experiment::jitter_throttle_config(sim::Duration::millis(50),
+                                                      bw * 1e6);
+    // The paper's storm-prone controller: retransmitted copies are part of
+    // the Figure 5 story.
+    proto.attack.suppress_request_retransmissions = false;
+    char label[48];
+    std::snprintf(label, sizeof(label), "bandwidth=%gMbps", bw);
+    const auto results =
+        sweep.run(label, bench::seed_sweep(proto, 50000, trials));
+
     std::vector<double> retrans;
     std::vector<bool> nomux_any, nomux_primary, nomux_copy_only;
     int broken = 0;
-    for (int t = 0; t < trials; ++t) {
-      experiment::TrialConfig cfg;
-      cfg.seed = 50000 + static_cast<std::uint64_t>(t);
-      cfg.attack = experiment::jitter_throttle_config(sim::Duration::millis(50),
-                                                      bw * 1e6);
-      // The paper's storm-prone controller: retransmitted copies are part of
-      // the Figure 5 story.
-      cfg.attack.suppress_request_retransmissions = false;
-      const auto r = experiment::run_trial(cfg);
+    for (const auto& r : results) {
       if (!r.page_complete) {
         ++broken;
         continue;
@@ -49,9 +53,9 @@ int main(int argc, char** argv) {
       nomux_primary.push_back(html.primary_serialized);
       nomux_copy_only.push_back(html.any_copy_serialized && !html.primary_serialized);
     }
-    char label[32];
-    std::snprintf(label, sizeof(label), "%g Mbps", bw);
-    table.add_row({label, TablePrinter::fmt(analysis::mean(retrans), 1),
+    char row[32];
+    std::snprintf(row, sizeof(row), "%g Mbps", bw);
+    table.add_row({row, TablePrinter::fmt(analysis::mean(retrans), 1),
                    TablePrinter::pct(analysis::percent_true(nomux_any), 0),
                    TablePrinter::pct(analysis::percent_true(nomux_primary), 0),
                    TablePrinter::pct(analysis::percent_true(nomux_copy_only), 0),

@@ -5,33 +5,37 @@
 // plateau and the breakage.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int trials = bench::trials_arg(argc, argv, 100);
+  bench::SweepSession sweep("bench_fig6_reset");
 
   const double rates[] = {0.5, 0.65, 0.8, 0.9, 0.95};
 
   TablePrinter table({"drop rate", "paper", "success (html serialized+IDed)",
                       "resets seen", "broken connections"});
   for (const double rate : rates) {
+    experiment::TrialConfig proto;
+    proto.attack = experiment::full_attack_config();
+    proto.attack.drop_rate = rate;
+    char label[32];
+    std::snprintf(label, sizeof(label), "drop=%.0f%%", rate * 100);
+    const auto results =
+        sweep.run(label, bench::seed_sweep(proto, 60000, trials));
+
     std::vector<bool> success;
     std::vector<double> resets;
     int broken = 0;
-    for (int t = 0; t < trials; ++t) {
-      experiment::TrialConfig cfg;
-      cfg.seed = 60000 + static_cast<std::uint64_t>(t);
-      cfg.attack = experiment::full_attack_config();
-      cfg.attack.drop_rate = rate;
-      const auto r = experiment::run_trial(cfg);
+    for (const auto& r : results) {
       if (!r.page_complete) {
         ++broken;
         success.push_back(false);
@@ -40,11 +44,11 @@ int main(int argc, char** argv) {
       success.push_back(r.success[0]);
       resets.push_back(static_cast<double>(r.reset_sweeps));
     }
-    char label[16];
-    std::snprintf(label, sizeof(label), "%.0f%%", rate * 100);
+    char row[16];
+    std::snprintf(row, sizeof(row), "%.0f%%", rate * 100);
     const char* paper = rate == 0.8 ? "~90% success"
                         : rate > 0.8 ? "broken connection" : "-";
-    table.add_row({label, paper,
+    table.add_row({row, paper,
                    TablePrinter::pct(analysis::percent_true(success), 0),
                    TablePrinter::fmt(analysis::mean(resets), 1),
                    std::to_string(broken)});

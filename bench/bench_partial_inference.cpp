@@ -5,7 +5,6 @@
 // both work — order included.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 namespace {
 
@@ -22,26 +22,33 @@ struct Scores {
   std::vector<double> partial;  // emblems found including subset-sum (of 8)
 };
 
-Scores run_mode(bool attack_on, int trials) {
+Scores run_mode(h2sim::bench::SweepSession& sweep, bool attack_on, int trials) {
   using namespace h2sim;
-  Scores s;
-  for (int t = 0; t < trials; ++t) {
-    experiment::TrialConfig cfg;
-    cfg.seed = 46000 + static_cast<std::uint64_t>(t);
-    cfg.attack = attack_on ? experiment::full_attack_config()
+  experiment::TrialConfig proto;
+  proto.attack = attack_on ? experiment::full_attack_config()
                            : experiment::TrialConfig::default_attack_off();
 
-    analysis::SizeIdentityDb emblems;
-    for (int k = 0; k < 8; ++k) {
-      emblems.add("party" + std::to_string(k),
-                  cfg.site.emblem_sizes[static_cast<std::size_t>(k)]);
-    }
+  analysis::SizeIdentityDb emblems;
+  for (int k = 0; k < 8; ++k) {
+    emblems.add("party" + std::to_string(k),
+                proto.site.emblem_sizes[static_cast<std::size_t>(k)]);
+  }
 
-    std::vector<analysis::DetectedObject> detections;
-    cfg.trace_inspector = [&](const analysis::PacketTrace& trace) {
-      detections = analysis::detect_objects(trace);
+  auto cfgs = bench::seed_sweep(proto, 46000, trials);
+  // One detection slot per trial: the inspectors run on worker threads, so
+  // each closure may only write its own index.
+  std::vector<std::vector<analysis::DetectedObject>> detections(cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i].trace_inspector = [&detections, i](const analysis::PacketTrace& t) {
+      detections[i] = analysis::detect_objects(t);
     };
-    const auto r = experiment::run_trial(cfg);
+  }
+  const auto results =
+      sweep.run(attack_on ? "full-attack" : "no-adversary", cfgs);
+
+  Scores s;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
     if (!r.page_complete && !attack_on) continue;
 
     auto count_found = [&](const std::vector<std::string>& labels) {
@@ -59,12 +66,12 @@ Scores run_mode(bool attack_on, int trials) {
     };
 
     std::vector<std::string> direct_labels;
-    for (const auto& d : detections) {
+    for (const auto& d : detections[i]) {
       if (const auto m = emblems.identify(d.size_estimate)) {
         direct_labels.push_back(m->label);
       }
     }
-    const auto partial = analysis::infer_objects_partial(detections, emblems);
+    const auto partial = analysis::infer_objects_partial(detections[i], emblems);
     s.direct.push_back(count_found(direct_labels));
     s.partial.push_back(count_found(partial.labels));
   }
@@ -76,10 +83,11 @@ Scores run_mode(bool attack_on, int trials) {
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int trials = bench::trials_arg(argc, argv, 30);
+  bench::SweepSession sweep("bench_partial_inference");
 
-  const Scores base = run_mode(false, trials);
-  const Scores attacked = run_mode(true, trials);
+  const Scores base = run_mode(sweep, false, trials);
+  const Scores attacked = run_mode(sweep, true, trials);
 
   TablePrinter table({"scenario", "direct size match (of 8)",
                       "with §VII partial inference (of 8)"});

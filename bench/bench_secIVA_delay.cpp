@@ -4,31 +4,35 @@
 // of multiplexing is unchanged. (Jitter — unequal delays — is what works.)
 
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 60;
+  const int trials = bench::trials_arg(argc, argv, 60);
+  bench::SweepSession sweep("bench_secIVA_delay");
 
   TablePrinter table({"uniform extra delay", "html DoM (mean)",
                       "html not multiplexed", "page load time (mean)"});
   for (const int delay_ms : {0, 10, 25, 50, 100}) {
+    experiment::TrialConfig proto;
+    proto.attack.enabled = false;
+    // Uniform delay on the client-side links (both directions).
+    proto.path.client_side.delay =
+        sim::Duration::millis(2) + sim::Duration::millis(delay_ms);
+    const auto results =
+        sweep.run("delay=" + std::to_string(delay_ms) + "ms",
+                  bench::seed_sweep(proto, 70000, trials));
+
     std::vector<double> dom, load;
     std::vector<bool> nomux;
-    for (int t = 0; t < trials; ++t) {
-      experiment::TrialConfig cfg;
-      cfg.seed = 70000 + static_cast<std::uint64_t>(t);
-      cfg.attack.enabled = false;
-      // Uniform delay on the client-side links (both directions).
-      cfg.path.client_side.delay =
-          sim::Duration::millis(2) + sim::Duration::millis(delay_ms);
-      const auto r = experiment::run_trial(cfg);
+    for (const auto& r : results) {
       if (!r.page_complete) continue;
       dom.push_back(r.interest[0].primary_dom * 100);
       nomux.push_back(r.interest[0].primary_serialized);

@@ -13,13 +13,13 @@
 //    improvement), which keeps serialization effective at high jitter.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 namespace {
 
@@ -34,7 +34,8 @@ struct Series {
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int trials = bench::trials_arg(argc, argv, 100);
+  bench::SweepSession sweep("bench_table1_jitter");
 
   const int jitters_ms[] = {0, 25, 50, 100};
   const char* paper_nomux[] = {"32%", "46%", "54%", "54%"};
@@ -44,19 +45,23 @@ int main(int argc, char** argv) {
   for (const bool suppress : {false, true}) {
     Series& out = suppress ? refined : faithful;
     for (const int jitter : jitters_ms) {
+      experiment::TrialConfig proto;
+      if (jitter == 0) {
+        proto.attack = experiment::TrialConfig::default_attack_off();
+      } else {
+        proto.attack = experiment::jitter_only_config(sim::Duration::millis(jitter));
+        proto.attack.suppress_request_retransmissions = suppress;
+      }
+      const auto cfgs = bench::seed_sweep(proto, 42000, trials);
+      const auto results = sweep.run(
+          (suppress ? "refined jitter=" : "faithful jitter=") +
+              std::to_string(jitter) + "ms",
+          cfgs);
+
       std::vector<bool> nomux;
       std::vector<double> retrans;
       int broken = 0;
-      for (int t = 0; t < trials; ++t) {
-        experiment::TrialConfig cfg;
-        cfg.seed = 42000 + static_cast<std::uint64_t>(t);
-        if (jitter == 0) {
-          cfg.attack = experiment::TrialConfig::default_attack_off();
-        } else {
-          cfg.attack = experiment::jitter_only_config(sim::Duration::millis(jitter));
-          cfg.attack.suppress_request_retransmissions = suppress;
-        }
-        const auto r = experiment::run_trial(cfg);
+      for (const auto& r : results) {
         if (r.connection_broken || !r.page_complete) {
           ++broken;
           continue;  // the paper counts completed downloads

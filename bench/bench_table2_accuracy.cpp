@@ -4,20 +4,26 @@
 //    rest of the pipeline (drop -> reset -> serialize) runs as usual;
 //  - all objects at once: the paper's full pipeline (trigger at the 6th GET,
 //    then 80 ms spacing for the image burst).
+//
+// This bench doubles as the perf headline: the all-at-once sweep runs once
+// single-threaded and once on all cores, and BENCH_sweep.json records the
+// measured speedup (the two runs must agree bit-for-bit).
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
+#include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+  const int trials = bench::trials_arg(argc, argv, 100);
+  bench::SweepSession sweep("bench_table2_accuracy");
 
   const char* names[] = {"HTML", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"};
   const char* paper_all[] = {"90", "90", "85", "81", "80", "62", "64", "78", "64"};
@@ -26,13 +32,14 @@ int main(int argc, char** argv) {
   // Broken connections count as failures for whatever the adversary had not
   // yet extracted: the trace up to the break is still evaluated, which is
   // precisely why the paper's accuracy declines for later images.
+  experiment::TrialConfig all_proto;
+  all_proto.attack = experiment::full_attack_config();
+  const auto all_cfgs = bench::seed_sweep(all_proto, 90000, trials);
+  const auto all_results = sweep.run_with_speedup("all-at-once", all_cfgs);
+
   std::vector<int> all_success(9, 0);
   int all_completed = 0, all_broken = 0;
-  for (int t = 0; t < trials; ++t) {
-    experiment::TrialConfig cfg;
-    cfg.seed = 90000 + static_cast<std::uint64_t>(t);
-    cfg.attack = experiment::full_attack_config();
-    const auto r = experiment::run_trial(cfg);
+  for (const auto& r : all_results) {
     if (r.page_complete) {
       ++all_completed;
     } else {
@@ -45,9 +52,10 @@ int main(int argc, char** argv) {
 
   // --- One object at a time ---
   // The paper reports 100 % per object; we trigger the disrupt phase at the
-  // target's own GET. Fewer trials per object keep runtime sane.
+  // target's own GET. Fewer trials per object keep runtime sane. All nine
+  // per-object sweeps go into one config list so the pool stays saturated.
   const int single_trials = std::max(10, trials / 4);
-  std::vector<int> single_success(9, 0), single_completed(9, 0);
+  std::vector<experiment::TrialConfig> single_cfgs;
   for (int obj = 0; obj < 9; ++obj) {
     for (int t = 0; t < single_trials; ++t) {
       experiment::TrialConfig cfg;
@@ -56,13 +64,20 @@ int main(int argc, char** argv) {
           obj == 0 ? experiment::html_get_index(cfg.site)
                    : experiment::emblem_get_index(cfg.site, obj - 1);
       cfg.attack = experiment::single_target_attack_config(target_get);
-      const auto r = experiment::run_trial(cfg);
-      ++single_completed[static_cast<std::size_t>(obj)];
-      // Single-target success: that object serialized and identified (for
-      // images: identified at the right burst position).
-      if (r.success[static_cast<std::size_t>(obj)]) {
-        ++single_success[static_cast<std::size_t>(obj)];
-      }
+      single_cfgs.push_back(std::move(cfg));
+    }
+  }
+  const auto single_results = sweep.run("one-at-a-time", single_cfgs);
+
+  std::vector<int> single_success(9, 0), single_completed(9, 0);
+  for (std::size_t i = 0; i < single_results.size(); ++i) {
+    const int obj = static_cast<int>(i) / single_trials;
+    const auto& r = single_results[i];
+    ++single_completed[static_cast<std::size_t>(obj)];
+    // Single-target success: that object serialized and identified (for
+    // images: identified at the right burst position).
+    if (r.success[static_cast<std::size_t>(obj)]) {
+      ++single_success[static_cast<std::size_t>(obj)];
     }
   }
 

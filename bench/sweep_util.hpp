@@ -1,0 +1,195 @@
+#pragma once
+
+// Shared sweep machinery for the reproduction benches: config-list builders,
+// the parallel run_trials front-end, and the BENCH_sweep.json perf record.
+// Each bench reduces to (a) building TrialConfig lists, (b) calling
+// SweepSession::run per sweep point, and (c) aggregating the returned
+// results — the trial loop, threading, timing, and perf bookkeeping live
+// here once.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiment/harness.hpp"
+#include "experiment/runner.hpp"
+
+namespace h2sim::bench {
+
+/// Common CLI convention: argv[1] overrides the trials-per-point default.
+inline int trials_arg(int argc, char** argv, int def) {
+  return argc > 1 ? std::atoi(argv[1]) : def;
+}
+
+/// `n` copies of `proto` with seed = seed_base + t. Inspector closures on
+/// the prototype are copied into every config; only install closures that
+/// write per-trial slots (or synchronize) — they run on worker threads.
+inline std::vector<experiment::TrialConfig> seed_sweep(
+    const experiment::TrialConfig& proto, std::uint64_t seed_base, int n) {
+  std::vector<experiment::TrialConfig> cfgs(static_cast<std::size_t>(n), proto);
+  for (int t = 0; t < n; ++t) {
+    cfgs[static_cast<std::size_t>(t)].seed =
+        seed_base + static_cast<std::uint64_t>(t);
+  }
+  return cfgs;
+}
+
+/// One timed sweep point, as recorded into BENCH_sweep.json.
+struct SweepEntry {
+  std::string label;
+  std::size_t trials = 0;
+  int jobs = 1;
+  double wall_seconds = 0.0;
+  double trials_per_sec = 0.0;
+  /// > 0 only for run_with_speedup sweeps: wall(1 thread) / wall(N threads).
+  double speedup_vs_1thread = 0.0;
+};
+
+/// Owns a bench run's perf record: every run()/run_with_speedup() appends an
+/// entry, and the destructor writes BENCH_sweep.json (cwd) so CI can track
+/// trials/sec and parallel speedup across PRs.
+class SweepSession {
+ public:
+  explicit SweepSession(std::string bench_name)
+      : name_(std::move(bench_name)), jobs_(experiment::resolve_jobs(0)) {}
+
+  SweepSession(const SweepSession&) = delete;
+  SweepSession& operator=(const SweepSession&) = delete;
+
+  ~SweepSession() { write_json(); }
+
+  int jobs() const { return jobs_; }
+
+  /// Runs the configs on the session's worker count and records the timing.
+  std::vector<experiment::TrialResult> run(
+      const std::string& label, std::span<const experiment::TrialConfig> cfgs,
+      experiment::RunOptions opts = {}) {
+    opts.jobs = jobs_;
+    return timed(label, cfgs, opts, /*speedup=*/0.0);
+  }
+
+  /// Runs the configs twice — single-threaded, then on the session's worker
+  /// count — and records the measured speedup. The parallel results are
+  /// returned; a mismatch against the sequential results (which the
+  /// determinism guarantee forbids) is reported on stderr and in the JSON.
+  std::vector<experiment::TrialResult> run_with_speedup(
+      const std::string& label,
+      std::span<const experiment::TrialConfig> cfgs) {
+    experiment::RunOptions seq;
+    seq.jobs = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<experiment::TrialResult> sequential =
+        experiment::run_trials(cfgs, seq);
+    const double wall_1 = seconds_since(t0);
+    if (jobs_ <= 1) {
+      record(label, cfgs.size(), 1, wall_1, 1.0);
+      return sequential;
+    }
+    experiment::RunOptions par;
+    par.jobs = jobs_;
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<experiment::TrialResult> parallel =
+        experiment::run_trials(cfgs, par);
+    const double wall_n = seconds_since(t1);
+    deterministic_ = deterministic_ && parallel == sequential;
+    if (parallel != sequential) {
+      std::fprintf(stderr,
+                   "[sweep] %s: DETERMINISM VIOLATION — parallel results "
+                   "differ from sequential\n",
+                   label.c_str());
+    }
+    record(label, cfgs.size(), jobs_, wall_n,
+           wall_n > 0 ? wall_1 / wall_n : 0.0);
+    return parallel;
+  }
+
+ private:
+  static double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  std::vector<experiment::TrialResult> timed(
+      const std::string& label, std::span<const experiment::TrialConfig> cfgs,
+      const experiment::RunOptions& opts, double speedup) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<experiment::TrialResult> results =
+        experiment::run_trials(cfgs, opts);
+    record(label, cfgs.size(), opts.jobs > 0 ? opts.jobs : jobs_,
+           seconds_since(t0), speedup);
+    return results;
+  }
+
+  void record(const std::string& label, std::size_t trials, int jobs,
+              double wall, double speedup) {
+    SweepEntry e;
+    e.label = label;
+    e.trials = trials;
+    e.jobs = jobs;
+    e.wall_seconds = wall;
+    e.trials_per_sec = wall > 0 ? static_cast<double>(trials) / wall : 0.0;
+    e.speedup_vs_1thread = speedup;
+    std::fprintf(stderr, "[sweep] %s: %zu trials in %.2fs (%.1f trials/s, %d jobs)\n",
+                 label.c_str(), trials, wall, e.trials_per_sec, jobs);
+    entries_.push_back(std::move(e));
+  }
+
+  static void append_escaped(std::string& out, const std::string& s) {
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+  }
+
+  void write_json() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"";
+    append_escaped(out, name_);
+    out += "\",\n";
+    out += "  \"jobs\": " + std::to_string(jobs_) + ",\n";
+    out += "  \"deterministic\": ";
+    out += deterministic_ ? "true" : "false";
+    out += ",\n";
+    std::size_t total_trials = 0;
+    double total_wall = 0.0;
+    out += "  \"sweeps\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const SweepEntry& e = entries_[i];
+      total_trials += e.trials;
+      total_wall += e.wall_seconds;
+      char buf[256];
+      out += i ? ",\n    " : "\n    ";
+      out += "{\"label\": \"";
+      append_escaped(out, e.label);
+      std::snprintf(buf, sizeof(buf),
+                    "\", \"trials\": %zu, \"jobs\": %d, \"wall_seconds\": %.6f, "
+                    "\"trials_per_sec\": %.3f, \"speedup_vs_1thread\": %.3f}",
+                    e.trials, e.jobs, e.wall_seconds, e.trials_per_sec,
+                    e.speedup_vs_1thread);
+      out += buf;
+    }
+    out += entries_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"total_trials\": " + std::to_string(total_trials) + ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", total_wall);
+    out += std::string("  \"total_wall_seconds\": ") + buf + "\n}\n";
+    FILE* f = std::fopen("BENCH_sweep.json", "w");
+    if (!f) {
+      std::fprintf(stderr, "[sweep] cannot write BENCH_sweep.json\n");
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+
+  std::string name_;
+  int jobs_;
+  bool deterministic_ = true;
+  std::vector<SweepEntry> entries_;
+};
+
+}  // namespace h2sim::bench

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "attack/monitor.hpp"
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 
 namespace h2sim::attack {
@@ -21,7 +22,7 @@ net::Decision NetworkController::on_packet(const net::Packet& p,
         monitor_->packet_is_c2s_retransmission(p.id) && now < last_release_) {
       ++stats_.retransmissions_suppressed;
       metrics_.retransmissions_suppressed.inc();
-      auto& tr = obs::Tracer::instance();
+      auto& tr = obs::tracer();
       if (tr.enabled(obs::Component::kAttack)) {
         tr.instant(obs::Component::kAttack, "suppress-retrans", now,
                    obs::track::kAdversary, p.tcp.src_port,
@@ -42,7 +43,7 @@ net::Decision NetworkController::on_packet(const net::Packet& p,
         metrics_.requests_spaced.inc();
         const sim::Duration hold = release - now;
         if (hold > stats_.max_hold) stats_.max_hold = hold;
-        auto& tr = obs::Tracer::instance();
+        auto& tr = obs::tracer();
         if (tr.enabled(obs::Component::kAttack)) {
           tr.complete(obs::Component::kAttack, "space-request", now, release,
                       obs::track::kAdversary, p.tcp.src_port,
@@ -62,7 +63,7 @@ net::Decision NetworkController::on_packet(const net::Packet& p,
   if (dropping() && !p.payload.empty() && rng_.bernoulli(drop_rate_)) {
     ++stats_.packets_dropped;
     metrics_.packets_dropped.inc();
-    auto& tr = obs::Tracer::instance();
+    auto& tr = obs::tracer();
     if (tr.enabled(obs::Component::kAttack)) {
       tr.instant(obs::Component::kAttack, "adv-drop", now,
                  obs::track::kAdversary, p.tcp.dst_port,

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "net/middlebox.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
@@ -32,7 +33,7 @@ class NetworkController : public net::PacketPolicy {
 
   NetworkController(sim::EventLoop& loop, sim::Rng rng)
       : loop_(loop), rng_(rng) {
-    auto& reg = obs::MetricsRegistry::instance();
+    auto& reg = obs::metrics();
     metrics_.requests_spaced = reg.counter("attack.requests_spaced");
     metrics_.packets_dropped = reg.counter("attack.packets_dropped");
     metrics_.retransmissions_suppressed =

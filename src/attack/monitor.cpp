@@ -1,5 +1,6 @@
 #include "attack/monitor.hpp"
 
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "tcp/tcp_types.hpp"
 
@@ -99,7 +100,7 @@ void TrafficMonitor::drain_records(StreamState& st, net::Direction dir,
         rec->header.length >= cfg_.get_min_record_body) {
       ++get_count_;
       metrics_.gets_counted.inc();
-      auto& tr = obs::Tracer::instance();
+      auto& tr = obs::tracer();
       if (tr.enabled(obs::Component::kAttack)) {
         tr.instant(obs::Component::kAttack, "get-seen", now,
                    obs::track::kAdversary, 0,

@@ -8,6 +8,7 @@
 #include "analysis/trace.hpp"
 #include "net/middlebox.hpp"
 #include "net/packet.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "tls/record.hpp"
@@ -33,7 +34,7 @@ class TrafficMonitor {
   using Config = MonitorConfig;
 
   explicit TrafficMonitor(Config cfg = Config{}) : cfg_(cfg) {
-    auto& reg = obs::MetricsRegistry::instance();
+    auto& reg = obs::metrics();
     metrics_.records_observed = reg.counter("attack.records_observed");
     metrics_.gets_counted = reg.counter("attack.gets_counted");
   }

@@ -1,5 +1,6 @@
 #include "attack/pipeline.hpp"
 
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 
@@ -8,7 +9,7 @@ namespace h2sim::attack {
 namespace {
 void trace_phase(AttackPipeline::Phase from, AttackPipeline::Phase to,
                  sim::TimePoint now) {
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (!tr.enabled(obs::Component::kAttack)) return;
   tr.instant(obs::Component::kAttack, std::string("phase:") + to_string(to),
              now, obs::track::kAdversary, 0,

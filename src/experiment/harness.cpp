@@ -5,6 +5,7 @@
 
 #include "analysis/boundary.hpp"
 #include "defense/defenses.hpp"
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "h2/server.hpp"
 #include "tcp/tcp_stack.hpp"
@@ -101,12 +102,14 @@ int emblem_get_index(const web::IsidewithConfig& site, int j) {
 }
 
 TrialResult run_trial(const TrialConfig& cfg) {
-  // Each trial owns the process-wide observability state: zero every
-  // registered metric and drop buffered trace events so counters and
-  // timelines cover exactly this trial (and same-seed reruns are
-  // bit-identical).
-  obs::MetricsRegistry::instance().reset();
-  obs::Tracer::instance().clear();
+  // Each trial owns the *current* observability context (the thread's
+  // installed obs::Context, or the process default when running standalone):
+  // zero every registered metric and drop buffered trace events so counters
+  // and timelines cover exactly this trial (and same-seed reruns are
+  // bit-identical). run_trials() installs a fresh private context per trial,
+  // which is what makes concurrent trials safe.
+  obs::metrics().reset();
+  obs::tracer().clear();
 
   sim::EventLoop loop;
   sim::Rng root(cfg.seed);
@@ -211,10 +214,10 @@ TrialResult run_trial(const TrialConfig& cfg) {
   r.failure_reason = browser.failure_reason();
   r.connection_broken = browser.failed() &&
                         r.failure_reason.find("connection dead") != std::string::npos;
-  // Counters are sourced from the metrics registry — the same numbers any
-  // exported metrics snapshot shows. The registry was reset at trial entry,
-  // so each value covers exactly this trial.
-  auto& reg = obs::MetricsRegistry::instance();
+  // Counters are sourced from the current context's registry — the same
+  // numbers any exported metrics snapshot shows. The registry was reset at
+  // trial entry, so each value covers exactly this trial.
+  auto& reg = obs::metrics();
   r.browser_reissues = static_cast<int>(reg.counter_value("web.reissues"));
   r.reset_sweeps = static_cast<int>(reg.counter_value("web.reset_sweeps"));
   r.tcp_fast_retransmits = reg.counter_value("tcp.retransmits_fast");

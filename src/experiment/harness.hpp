@@ -85,6 +85,8 @@ struct ObjectOutcome {
   int copies = 0;
   bool size_identified = false;    // boundary detector + size DB found it
   bool delivered = false;          // browser completed the object
+
+  bool operator==(const ObjectOutcome&) const = default;
 };
 
 struct TrialResult {
@@ -120,6 +122,10 @@ struct TrialResult {
   std::uint64_t wire_retransmissions() const {
     return tcp_retransmits + static_cast<std::uint64_t>(browser_reissues);
   }
+
+  /// Field-wise equality; the parallel runner's determinism guarantee is
+  /// stated (and tested) in terms of this comparison.
+  bool operator==(const TrialResult&) const = default;
 };
 
 TrialResult run_trial(const TrialConfig& cfg);

@@ -1,0 +1,97 @@
+#include "experiment/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace h2sim::experiment {
+
+int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("H2SIM_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
+                                    const RunOptions& opts) {
+  const std::size_t total = cfgs.size();
+  std::vector<TrialResult> results(total);
+  if (total == 0) return results;
+
+  int jobs = resolve_jobs(opts.jobs);
+  if (static_cast<std::size_t>(jobs) > total) jobs = static_cast<int>(total);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto elapsed = [&wall_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+
+  // Work stealing via a shared atomic index: a worker that lands a short
+  // trial immediately claims the next unclaimed one, so long trials never
+  // leave siblings idle. Result slots are indexed by config position, which
+  // makes output order independent of claim order.
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      // A fresh context per trial: all instrumentation this trial performs —
+      // down to per-packet counters in net/tcp — lands in storage no other
+      // trial can reach, and every trial starts from an empty registry.
+      obs::Context ctx;
+      ctx.tracer.set_mask(opts.trace_mask);
+      {
+        obs::ScopedContext scope(ctx);
+        results[i] = run_trial(cfgs[i]);
+      }
+      if (opts.context_inspector) opts.context_inspector(i, ctx);
+      const std::size_t now_done =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts.on_progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        Progress p;
+        p.done = now_done;
+        p.total = total;
+        p.elapsed_seconds = elapsed();
+        p.eta_seconds =
+            p.elapsed_seconds / static_cast<double>(now_done) *
+            static_cast<double>(total - now_done);
+        opts.on_progress(p);
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Back on the calling thread: record sweep aggregates in the caller's
+  // context so dashboards see the sweep even though trial-local metrics
+  // died with their contexts.
+  const double wall = elapsed();
+  auto& reg = obs::metrics();
+  reg.counter("experiment.trials_run").add(total);
+  reg.gauge("experiment.sweep_wall_seconds").set(wall);
+  reg.gauge("experiment.sweep_trials_per_sec")
+      .set(wall > 0 ? static_cast<double>(total) / wall : 0.0);
+  reg.gauge("experiment.sweep_jobs").set(jobs);
+  return results;
+}
+
+}  // namespace h2sim::experiment

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "experiment/harness.hpp"
+#include "obs/context.hpp"
+
+namespace h2sim::experiment {
+
+/// Progress report for a sweep in flight. `eta_seconds` extrapolates from
+/// the mean wall time of the trials finished so far.
+struct Progress {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double elapsed_seconds = 0.0;
+  double eta_seconds = 0.0;
+};
+
+/// Options for run_trials().
+struct RunOptions {
+  /// Worker count. <= 0 means: the H2SIM_JOBS environment variable if set to
+  /// a positive integer, otherwise std::thread::hardware_concurrency().
+  /// Clamped to the number of trials; 1 runs inline on the calling thread.
+  int jobs = 0;
+
+  /// Tracer enable mask installed in every per-trial context (see
+  /// obs::component_bit). Off by default, matching standalone run_trial.
+  std::uint32_t trace_mask = 0;
+
+  /// Invoked after each trial completes, serialized under an internal mutex
+  /// (so the callback itself may be non-reentrant), from whichever worker
+  /// finished the trial.
+  std::function<void(const Progress&)> on_progress;
+
+  /// Invoked on the worker thread right after trial `index` finishes, while
+  /// its private obs::Context (metrics + trace events) is still alive.
+  /// Different indices may run concurrently: the callback must only touch
+  /// per-index state unless it synchronizes.
+  std::function<void(std::size_t index, const obs::Context&)> context_inspector;
+};
+
+/// Resolves an effective worker count from `requested` using the RunOptions
+/// rules above (without the trial-count clamp).
+int resolve_jobs(int requested);
+
+/// Runs every config, using up to RunOptions::jobs worker threads, and
+/// returns results in input order.
+///
+/// Determinism: each trial executes inside a fresh private obs::Context, and
+/// a trial is a pure function of its TrialConfig — so results[i] (and the
+/// metrics snapshot its inspectors observe) is bit-identical whatever the
+/// thread count, scheduling order, or neighboring configs. The sequential
+/// path (jobs = 1) is the same code with the same per-trial contexts.
+///
+/// The per-config inspectors (wire_log_inspector, metrics_inspector, ...)
+/// run on worker threads. Configs sharing one closure that writes shared
+/// state must synchronize; closures writing per-trial slots need not.
+///
+/// After the sweep, aggregate counters (experiment.trials_run,
+/// experiment.sweep_wall_seconds, experiment.sweep_trials_per_sec) are
+/// recorded in the *caller's* current context.
+std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
+                                    const RunOptions& opts = {});
+
+}  // namespace h2sim::experiment

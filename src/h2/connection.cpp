@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 
@@ -26,7 +27,7 @@ Connection::Connection(sim::EventLoop& loop, tls::TlsSession& tls, bool is_serve
       cfg_(cfg),
       rng_(rng),
       next_local_stream_(is_server ? 2 : 1) {
-  auto& reg = obs::MetricsRegistry::instance();
+  auto& reg = obs::metrics();
   const std::string side = is_server ? "h2.server." : "h2.client.";
   metrics_.frames_sent = reg.counter(side + "frames_sent");
   metrics_.frames_received = reg.counter(side + "frames_received");
@@ -107,7 +108,7 @@ void Connection::write_frame(Frame&& f) {
   sim::logf(sim::LogLevel::kTrace, loop_.now(), is_server_ ? "h2.srv" : "h2.cli",
             "send %s sid=%u len=%zu flags=%02x", to_string(f.type), f.stream_id,
             f.payload.size(), f.flags);
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kH2)) {
     tr.instant(obs::Component::kH2, std::string("tx ") + to_string(f.type),
                loop_.now(), is_server_ ? obs::track::kServer : obs::track::kClient,
@@ -133,7 +134,7 @@ Stream& Connection::create_stream(std::uint32_t id) {
 }
 
 void Connection::trace_stream_state(std::uint32_t stream_id, StreamState before) {
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (!tr.enabled(obs::Component::kH2)) return;
   const Stream* s = find_stream(stream_id);
   const StreamState after = s ? s->state() : StreamState::kClosed;
@@ -336,7 +337,7 @@ void Connection::pump() {
       // send windows are exhausted until the peer's WINDOW_UPDATE arrives).
       if (streams_with_pending_data() > 0) {
         metrics_.flow_stalls.inc();
-        auto& tr = obs::Tracer::instance();
+        auto& tr = obs::tracer();
         if (tr.enabled(obs::Component::kH2)) {
           tr.instant(obs::Component::kH2, "flow-stall", loop_.now(),
                      is_server_ ? obs::track::kServer : obs::track::kClient, 0,
@@ -414,7 +415,7 @@ void Connection::handle_frame(Frame&& f) {
   sim::logf(sim::LogLevel::kTrace, loop_.now(), is_server_ ? "h2.srv" : "h2.cli",
             "recv %s sid=%u len=%zu flags=%02x", to_string(f.type), f.stream_id,
             f.payload.size(), f.flags);
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kH2)) {
     tr.instant(obs::Component::kH2, std::string("rx ") + to_string(f.type),
                loop_.now(), is_server_ ? obs::track::kServer : obs::track::kClient,
@@ -660,7 +661,7 @@ void Connection::handle_rst(const Frame& f) {
     s->flush_queue();
     s->on_recv_rst();
     trace_stream_state(f.stream_id, before);
-    auto& tr = obs::Tracer::instance();
+    auto& tr = obs::tracer();
     if (flushed > 0 && tr.enabled(obs::Component::kH2)) {
       // The flush itself is the paper's Figure-6 signal: make it visible.
       tr.instant(obs::Component::kH2, "rst-flush", loop_.now(),

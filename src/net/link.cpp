@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 
@@ -10,7 +11,7 @@ namespace h2sim::net {
 
 Link::Link(sim::EventLoop& loop, Config cfg, std::string name)
     : loop_(loop), cfg_(cfg), name_(std::move(name)), loss_rng_(cfg.loss_seed) {
-  auto& reg = obs::MetricsRegistry::instance();
+  auto& reg = obs::metrics();
   metrics_.delivered = reg.counter("net.link_delivered");
   metrics_.dropped = reg.counter("net.link_drops");
   metrics_.random_losses = reg.counter("net.link_random_losses");
@@ -24,7 +25,7 @@ void Link::send(Packet&& p) {
     metrics_.random_losses.inc();
     sim::logf(sim::LogLevel::kDebug, loop_.now(), name_.c_str(),
               "random loss of %s", p.describe().c_str());
-    auto& tr = obs::Tracer::instance();
+    auto& tr = obs::tracer();
     if (tr.enabled(obs::Component::kNet)) {
       tr.instant(obs::Component::kNet, "loss:" + name_, loop_.now(),
                  obs::track::kNetwork, p.tcp.src_port,
@@ -37,7 +38,7 @@ void Link::send(Packet&& p) {
     metrics_.dropped.inc();
     sim::logf(sim::LogLevel::kDebug, loop_.now(), name_.c_str(),
               "queue overflow, dropping %s", p.describe().c_str());
-    auto& tr = obs::Tracer::instance();
+    auto& tr = obs::tracer();
     if (tr.enabled(obs::Component::kNet)) {
       tr.instant(obs::Component::kNet, "drop:" + name_, loop_.now(),
                  obs::track::kNetwork, p.tcp.src_port,

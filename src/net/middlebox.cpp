@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 
@@ -46,7 +47,7 @@ void Middlebox::process(Packet&& p, Direction dir) {
   if (tap_) tap_(p, dir, now);
 
   Decision d = policy_ ? policy_->on_packet(p, dir, now) : Decision::forward();
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   switch (d.action) {
     case Decision::Action::kDrop:
       ++stats_.dropped;

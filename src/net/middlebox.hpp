@@ -7,6 +7,7 @@
 // std::optional is used for RateLimiter::admit's drop signalling.
 
 #include "net/packet.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 
@@ -77,7 +78,7 @@ class Middlebox {
   };
 
   explicit Middlebox(sim::EventLoop& loop) : loop_(loop) {
-    auto& reg = obs::MetricsRegistry::instance();
+    auto& reg = obs::metrics();
     metrics_.forwarded = reg.counter("net.mb_forwarded");
     metrics_.dropped = reg.counter("net.mb_dropped");
     metrics_.held = reg.counter("net.mb_held");

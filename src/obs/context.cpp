@@ -1,0 +1,59 @@
+#include "obs/context.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace h2sim::obs {
+
+namespace {
+thread_local Context* tls_current = nullptr;
+}  // namespace
+
+Context& default_context() {
+  static Context ctx;
+  return ctx;
+}
+
+Context& current() {
+  Context* c = tls_current;
+  return c ? *c : default_context();
+}
+
+MetricsRegistry& metrics() { return current().metrics; }
+
+Tracer& tracer() { return current().tracer; }
+
+ScopedContext::ScopedContext(Context& ctx) : prev_(tls_current) {
+  tls_current = &ctx;
+}
+
+ScopedContext::~ScopedContext() { tls_current = prev_; }
+
+namespace detail {
+
+void assert_singleton_thread(const char* what) {
+  // A default-constructed thread::id names no thread, so it doubles as the
+  // "unclaimed" sentinel; the first caller CASes its own id in.
+  static std::atomic<std::thread::id> owner{};
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (owner.compare_exchange_strong(expected, self,
+                                    std::memory_order_acq_rel)) {
+    return;
+  }
+  if (expected != self) {
+    std::fprintf(stderr,
+                 "h2sim: %s called from a second thread. The legacy "
+                 "process-wide singleton is single-thread-only; concurrent "
+                 "trials must use obs::Context + obs::ScopedContext (or "
+                 "experiment::run_trials, which does this for you).\n",
+                 what);
+    std::abort();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace h2sim::obs

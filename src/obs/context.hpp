@@ -1,0 +1,60 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace h2sim::obs {
+
+/// The mutable observability state one simulation writes: a metrics registry
+/// plus a tracer. Every instrumented component resolves its registry/tracer
+/// through the *current* context (see below) instead of a process-wide
+/// singleton, so concurrent trials — each with its own Context — never share
+/// mutable state.
+struct Context {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+};
+
+/// The process-default context. This is what the legacy
+/// `MetricsRegistry::instance()` / `Tracer::instance()` accessors alias, and
+/// what current() falls back to when no ScopedContext is installed — so
+/// single-threaded code keeps its PR-1 behaviour unchanged.
+Context& default_context();
+
+/// The context in force on this thread: the innermost ScopedContext, or
+/// default_context() when none is installed.
+Context& current();
+
+/// Shorthands for the current context's members. These are the accessors all
+/// instrumented components use; they cost one thread-local pointer read.
+MetricsRegistry& metrics();
+Tracer& tracer();
+
+/// Installs `ctx` as the calling thread's current context for the scope's
+/// lifetime, restoring the previous context (usually none) on destruction.
+/// The parallel trial runner wraps each trial in one of these so per-packet
+/// instrumentation lands in trial-private storage.
+class ScopedContext {
+ public:
+  explicit ScopedContext(Context& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context* prev_;
+};
+
+namespace detail {
+/// Legacy-singleton guard: records the first thread to take the process-wide
+/// path and aborts with a diagnostic if a second thread follows. The
+/// singletons are single-thread-only by contract; racing them silently
+/// corrupts metrics, so out-of-tree callers fail loudly instead.
+void assert_singleton_thread(const char* what);
+}  // namespace detail
+
+}  // namespace h2sim::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/context.hpp"
+
 namespace h2sim::obs {
 
 std::vector<double> linear_buckets(double start, double width, std::size_t n) {
@@ -32,8 +34,8 @@ void Histogram::observe(double v) const {
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
-  static MetricsRegistry reg;
-  return reg;
+  detail::assert_singleton_thread("obs::MetricsRegistry::instance()");
+  return default_context().metrics;
 }
 
 Counter MetricsRegistry::counter(const std::string& name) {

@@ -86,16 +86,29 @@ struct MetricsSnapshot {
   bool operator==(const MetricsSnapshot&) const = default;
 };
 
-/// Process-wide metrics registry. Names follow `component.metric`
+/// Metrics registry. Names follow `component.metric`
 /// (e.g. "tcp.retransmits_fast"); registering the same name twice returns a
 /// handle to the same storage, which is how per-connection instances
-/// aggregate into one process counter. Single-threaded, like the simulator.
+/// aggregate into one registry-wide counter.
+///
+/// A registry is single-threaded state: one simulation (one trial) writes
+/// it. Components reach the registry of the trial they belong to through
+/// `obs::metrics()` (see obs/context.hpp); concurrent trials each install
+/// their own `obs::Context`, so registries are never shared across threads.
 ///
 /// reset() zeroes every value but keeps registrations, so a harness can make
 /// back-to-back trials start from identical state without invalidating the
 /// handles components cached at construction.
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Legacy accessor for the process-default registry
+  /// (`obs::default_context().metrics`). Single-thread-only: the first
+  /// calling thread claims it and any other thread aborts with a
+  /// diagnostic. Multi-threaded code must use per-trial contexts instead.
   static MetricsRegistry& instance();
 
   Counter counter(const std::string& name);
@@ -113,7 +126,6 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
-  MetricsRegistry() = default;
   std::map<std::string, std::unique_ptr<std::uint64_t>> counters_;
   std::map<std::string, std::unique_ptr<double>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramData>> histograms_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/context.hpp"
+
 namespace h2sim::obs {
 
 const char* to_string(Component c) {
@@ -102,8 +104,8 @@ TraceArgs& TraceArgs::add(std::string_view k, std::string_view v) {
 }
 
 Tracer& Tracer::instance() {
-  static Tracer tracer;
-  return tracer;
+  detail::assert_singleton_thread("obs::Tracer::instance()");
+  return default_context().tracer;
 }
 
 void Tracer::instant(Component c, std::string name, sim::TimePoint t,

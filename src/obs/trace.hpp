@@ -79,13 +79,23 @@ class TraceArgs {
   std::string s_;
 };
 
-/// Process-wide event/span tracer driven by simulated time. Disabled (empty
-/// mask) by default: the fast path of every record call is a single mask
-/// test, so per-packet instrumentation in tcp/net costs one predictable
-/// branch when off. Events accumulate in memory (a trial is bounded) and are
-/// exported as NDJSON or Chrome trace-event JSON.
+/// Event/span tracer driven by simulated time. Disabled (empty mask) by
+/// default: the fast path of every record call is a single mask test, so
+/// per-packet instrumentation in tcp/net costs one predictable branch when
+/// off. Events accumulate in memory (a trial is bounded) and are exported as
+/// NDJSON or Chrome trace-event JSON.
+///
+/// Like MetricsRegistry, a Tracer is single-threaded state owned by one
+/// trial's `obs::Context`; components reach it through `obs::tracer()`.
 class Tracer {
  public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Legacy accessor for the process-default tracer
+  /// (`obs::default_context().tracer`). Single-thread-only; see
+  /// MetricsRegistry::instance().
   static Tracer& instance();
 
   bool enabled(Component c) const { return (mask_ & component_bit(c)) != 0; }
@@ -114,7 +124,6 @@ class Tracer {
   void clear() { events_.clear(); }
 
  private:
-  Tracer() = default;
   std::uint32_t mask_ = 0;
   std::vector<TraceEvent> events_;
 };

@@ -68,6 +68,12 @@ class EventLoop {
   /// Hard stop from inside a callback: run() returns after the current event.
   void stop() { stopped_ = true; }
 
+  /// Monotonic id allocator for objects living in this simulated world
+  /// (packet ids, notably). Scoping the counter to the loop keeps ids unique
+  /// within a trial, deterministic for a given schedule, and free of shared
+  /// state between concurrently running trials.
+  std::uint64_t allocate_id() { return ++next_id_; }
+
  private:
   struct Event {
     TimePoint at;
@@ -83,6 +89,7 @@ class EventLoop {
   };
 
   TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_id_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;

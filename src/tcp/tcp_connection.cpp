@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 
@@ -13,8 +14,6 @@ using net::tcpflag::kAck;
 using net::tcpflag::kFin;
 using net::tcpflag::kRst;
 using net::tcpflag::kSyn;
-
-std::uint64_t TcpConnection::next_packet_id_ = 1;
 
 namespace {
 
@@ -61,7 +60,7 @@ TcpConnection::TcpConnection(sim::EventLoop& loop, const TcpConfig& cfg,
       cwnd_(cfg.initial_cwnd_segments * cfg.mss),
       ssthresh_(cfg.recv_window),
       rto_(cfg.initial_rto) {
-  auto& reg = obs::MetricsRegistry::instance();
+  auto& reg = obs::metrics();
   metrics_.segments_sent = reg.counter("tcp.segments_sent");
   metrics_.segments_received = reg.counter("tcp.segments_received");
   metrics_.retransmits_fast = reg.counter("tcp.retransmits_fast");
@@ -78,7 +77,7 @@ TcpConnection::~TcpConnection() { cancel_rto(); }
 void TcpConnection::become(State s) {
   sim::logf(sim::LogLevel::kTrace, loop_.now(), "tcp", "%u:%u %s -> %s",
             local_node_, local_port_, to_string(state_), to_string(s));
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kTcp)) {
     tr.instant(obs::Component::kTcp, std::string("tcp:") + to_string(s),
                loop_.now(), trace_pid(local_node_), local_port_,
@@ -90,7 +89,7 @@ void TcpConnection::become(State s) {
 
 void TcpConnection::trace_cwnd() {
   metrics_.cwnd_bytes.observe(static_cast<double>(cwnd_));
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kTcp)) {
     tr.counter(obs::Component::kTcp, "cwnd", loop_.now(), trace_pid(local_node_),
                local_port_, static_cast<double>(cwnd_));
@@ -100,7 +99,9 @@ void TcpConnection::trace_cwnd() {
 void TcpConnection::emit(std::uint8_t flags, std::uint32_t seq,
                          std::size_t payload_len, bool retransmission) {
   Packet p;
-  p.id = next_packet_id_++;
+  // Ids come from the trial's own event loop: unique within the simulated
+  // world, deterministic, and unshared with concurrently running trials.
+  p.id = loop_.allocate_id();
   p.src = local_node_;
   p.dst = remote_node_;
   p.tcp.src_port = local_port_;
@@ -158,7 +159,7 @@ void TcpConnection::close() {
 void TcpConnection::abort(std::string_view reason) {
   if (state_ == State::kAborted) return;
   metrics_.connections_aborted.inc();
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kTcp)) {
     tr.instant(obs::Component::kTcp, "abort", loop_.now(),
                trace_pid(local_node_), local_port_,
@@ -242,7 +243,7 @@ void TcpConnection::retransmit_from(std::uint32_t seq, const char* why,
   }
   sim::logf(sim::LogLevel::kDebug, loop_.now(), "tcp", "%u:%u retransmit seq=%u (%s)",
             local_node_, local_port_, seq, why);
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kTcp)) {
     tr.instant(obs::Component::kTcp, "retransmit", loop_.now(),
                trace_pid(local_node_), local_port_,
@@ -267,7 +268,7 @@ void TcpConnection::on_rto() {
   ++stats_.rto_expirations;
   metrics_.rto_expirations.inc();
   {
-    auto& tr = obs::Tracer::instance();
+    auto& tr = obs::tracer();
     if (tr.enabled(obs::Component::kTcp)) {
       tr.instant(obs::Component::kTcp, "rto", loop_.now(),
                  trace_pid(local_node_), local_port_,

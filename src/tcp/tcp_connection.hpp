@@ -176,8 +176,6 @@ class TcpConnection {
   };
   Metrics metrics_;
   void trace_cwnd();
-
-  static std::uint64_t next_packet_id_;
 };
 
 const char* to_string(TcpConnection::State s);

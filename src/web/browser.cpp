@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "http/message.hpp"
+#include "obs/context.hpp"
 #include "obs/trace.hpp"
 #include "sim/log.hpp"
 
@@ -21,7 +22,7 @@ Browser::Browser(sim::EventLoop& loop, h2::ClientConnection& conn,
       permutation_(permutation),
       rng_(rng),
       cfg_(cfg) {
-  auto& reg = obs::MetricsRegistry::instance();
+  auto& reg = obs::metrics();
   metrics_.requests_sent = reg.counter("web.requests_sent");
   metrics_.reissues = reg.counter("web.reissues");
   metrics_.rerequests = reg.counter("web.rerequests");
@@ -178,7 +179,7 @@ void Browser::issue(std::size_t index, bool is_rerequest) {
 
   sim::logf(sim::LogLevel::kDebug, loop_.now(), "browser", "GET %s (sid=%u%s)",
             o.path.c_str(), sid, o.reissues > 0 ? ", reissue" : "");
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kWeb)) {
     tr.instant(obs::Component::kWeb, "GET " + o.label, loop_.now(),
                obs::track::kClient, sid,
@@ -255,7 +256,7 @@ void Browser::object_completed(std::size_t index, std::uint32_t winning_sid) {
   metrics_.objects_completed.inc();
   sim::logf(sim::LogLevel::kDebug, loop_.now(), "browser", "done %s (%zu bytes)",
             o.path.c_str(), o.stream_bytes[winning_sid]);
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kWeb)) {
     tr.complete(obs::Component::kWeb, o.label, o.first_request_time, loop_.now(),
                 obs::track::kClient, winning_sid,
@@ -310,7 +311,7 @@ void Browser::perform_reset_sweep() {
   }
   sim::logf(sim::LogLevel::kInfo, loop_.now(), "browser",
             "persistent stall: RST_STREAM sweep #%d", reset_sweeps_);
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kWeb)) {
     tr.instant(obs::Component::kWeb, "reset-sweep", loop_.now(),
                obs::track::kClient, 0,
@@ -359,7 +360,7 @@ void Browser::fail(std::string reason) {
   metrics_.page_failures.inc();
   sim::logf(sim::LogLevel::kInfo, loop_.now(), "browser", "page load failed: %s",
             failure_reason_.c_str());
-  auto& tr = obs::Tracer::instance();
+  auto& tr = obs::tracer();
   if (tr.enabled(obs::Component::kWeb)) {
     tr.instant(obs::Component::kWeb, "page-failed", loop_.now(),
                obs::track::kClient, 0,

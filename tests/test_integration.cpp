@@ -1,12 +1,23 @@
 // End-to-end trials through the experiment harness: the full stack
-// (sim/net/tcp/tls/hpack/h2/web) with and without the adversary.
+// (sim/net/tcp/tls/hpack/h2/web) with and without the adversary. The
+// multi-seed Monte-Carlo suites go through experiment::run_trials so they
+// use every available core (cap with H2SIM_JOBS).
 
 #include <gtest/gtest.h>
 
 #include "experiment/harness.hpp"
+#include "experiment/runner.hpp"
 
 namespace h2sim::experiment {
 namespace {
+
+/// `count` configs derived from `proto`, seeded `seed_base .. seed_base+count-1`.
+std::vector<TrialConfig> seeded(const TrialConfig& proto, std::uint64_t seed_base,
+                                std::size_t count) {
+  std::vector<TrialConfig> cfgs(count, proto);
+  for (std::size_t i = 0; i < count; ++i) cfgs[i].seed = seed_base + i;
+  return cfgs;
+}
 
 TEST(Integration, BaselinePageLoadCompletes) {
   TrialConfig cfg;
@@ -49,12 +60,10 @@ TEST(Integration, DifferentSeedsDifferentPermutations) {
 }
 
 TEST(Integration, BaselineEmblemsHeavilyMultiplexed) {
+  TrialConfig proto;
+  proto.attack.enabled = false;
   int mux = 0, total = 0;
-  for (std::uint64_t seed = 100; seed < 110; ++seed) {
-    TrialConfig cfg;
-    cfg.seed = seed;
-    cfg.attack.enabled = false;
-    const TrialResult r = run_trial(cfg);
+  for (const TrialResult& r : run_trials(seeded(proto, 100, 10))) {
     if (!r.page_complete) continue;
     for (int j = 1; j <= 8; ++j) {
       ++total;
@@ -67,12 +76,10 @@ TEST(Integration, BaselineEmblemsHeavilyMultiplexed) {
 }
 
 TEST(Integration, FullAttackSerializesHtml) {
+  TrialConfig proto;
+  proto.attack = full_attack_config();
   int success = 0, completed = 0;
-  for (std::uint64_t seed = 200; seed < 208; ++seed) {
-    TrialConfig cfg;
-    cfg.seed = seed;
-    cfg.attack = full_attack_config();
-    const TrialResult r = run_trial(cfg);
+  for (const TrialResult& r : run_trials(seeded(proto, 200, 8))) {
     if (!r.page_complete) continue;
     ++completed;
     if (r.success[0]) ++success;
@@ -83,12 +90,10 @@ TEST(Integration, FullAttackSerializesHtml) {
 }
 
 TEST(Integration, FullAttackRecoversMostOfTheRanking) {
+  TrialConfig proto;
+  proto.attack = full_attack_config();
   int correct_positions = 0, total_positions = 0;
-  for (std::uint64_t seed = 300; seed < 306; ++seed) {
-    TrialConfig cfg;
-    cfg.seed = seed;
-    cfg.attack = full_attack_config();
-    const TrialResult r = run_trial(cfg);
+  for (const TrialResult& r : run_trials(seeded(proto, 300, 6))) {
     // Broken trials still count: the adversary keeps what it extracted.
     for (int j = 1; j <= 8; ++j) {
       ++total_positions;
@@ -111,15 +116,22 @@ TEST(Integration, AttackUsesResetSweep) {
 }
 
 TEST(Integration, JitterIncreasesRetransmissions) {
+  constexpr std::size_t kSeeds = 6;
+  TrialConfig quiet;
+  quiet.attack.enabled = false;
+  TrialConfig noisy;
+  noisy.attack = jitter_only_config(sim::Duration::millis(50));
+  // One batch, paired by index: configs 0..5 are the quiet runs for seeds
+  // 400..405, configs 6..11 the jittered runs for the same seeds.
+  std::vector<TrialConfig> cfgs = seeded(quiet, 400, kSeeds);
+  for (TrialConfig& cfg : seeded(noisy, 400, kSeeds)) cfgs.push_back(std::move(cfg));
+  const auto results = run_trials(cfgs);
+
   std::uint64_t base = 0, jittered = 0;
   int n = 0;
-  for (std::uint64_t seed = 400; seed < 406; ++seed) {
-    TrialConfig cfg;
-    cfg.seed = seed;
-    cfg.attack.enabled = false;
-    const TrialResult a = run_trial(cfg);
-    cfg.attack = jitter_only_config(sim::Duration::millis(50));
-    const TrialResult b = run_trial(cfg);
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    const TrialResult& a = results[i];
+    const TrialResult& b = results[kSeeds + i];
     if (!a.page_complete || !b.page_complete) continue;
     base += a.wire_retransmissions();
     jittered += b.wire_retransmissions();
@@ -147,25 +159,21 @@ TEST(Integration, SequentialServerDefeatsNothing) {
 }
 
 TEST(Integration, BrokenConnectionReportedAtExtremeDropRate) {
+  TrialConfig proto;
+  proto.attack = full_attack_config();
+  proto.attack.drop_rate = 0.97;
   int broken = 0;
-  for (std::uint64_t seed = 600; seed < 606; ++seed) {
-    TrialConfig cfg;
-    cfg.seed = seed;
-    cfg.attack = full_attack_config();
-    cfg.attack.drop_rate = 0.97;
-    const TrialResult r = run_trial(cfg);
+  for (const TrialResult& r : run_trials(seeded(proto, 600, 6))) {
     if (!r.page_complete) ++broken;
   }
   EXPECT_GE(broken, 2);  // the paper's "broken connection" regime
 }
 
 TEST(Integration, SingleTargetModeServializesTarget) {
+  TrialConfig proto;
+  proto.attack = single_target_attack_config(html_get_index(proto.site));
   int success = 0, completed = 0;
-  for (std::uint64_t seed = 700; seed < 706; ++seed) {
-    TrialConfig cfg;
-    cfg.seed = seed;
-    cfg.attack = single_target_attack_config(html_get_index(cfg.site));
-    const TrialResult r = run_trial(cfg);
+  for (const TrialResult& r : run_trials(seeded(proto, 700, 6))) {
     if (!r.page_complete) continue;
     ++completed;
     if (r.interest[0].any_copy_serialized) ++success;
