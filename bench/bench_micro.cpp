@@ -5,15 +5,57 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "h2/frame.hpp"
 #include "hpack/decoder.hpp"
 #include "hpack/encoder.hpp"
 #include "hpack/huffman.hpp"
+#include "net/link.hpp"
+#include "net/middlebox.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 #include "tls/record.hpp"
+
+// Process-wide heap allocation counter. The steady-state benches below use
+// delta snapshots around the measured region to prove the simulator hot path
+// is allocation-free once warmed; other benches ignore it.
+//
+// The replacement new/delete pair below is consistently malloc/free-based,
+// but GCC's -Wmismatched-new-delete cannot see that when it inlines the
+// delete into call sites and assumes the pointer came from the default new.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) &
+                                       ~(static_cast<std::size_t>(al) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -117,6 +159,84 @@ void BM_EventLoopThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventLoopThroughput);
+
+// Steady-state allocation proof for the event loop: after one warm-up round
+// has grown the slab and the heap array, scheduling and running events must
+// not touch the heap at all. Reported as the `allocs_per_event` counter —
+// the acceptance bar is exactly 0.
+void BM_EventLoopSteadyState(benchmark::State& state) {
+  sim::EventLoop loop;
+  constexpr int kEvents = 1000;
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    loop.schedule_after(sim::Duration::micros(i), [&fired] { ++fired; });
+  }
+  loop.run();
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    for (int i = 0; i < kEvents; ++i) {
+      loop.schedule_after(sim::Duration::micros(i), [&fired] { ++fired; });
+    }
+    loop.run();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_EventLoopSteadyState);
+
+// Steady-state allocation proof for the packet path: client link -> middlebox
+// -> sink, with the sink recycling payloads into the loop's pool the way
+// TcpStack::deliver does. Once the pool and queues are warmed, forwarding a
+// 1200-byte payload end to end must be allocation-free (`allocs_per_packet`
+// == 0).
+void BM_PacketForwardSteadyState(benchmark::State& state) {
+  sim::EventLoop loop;
+  net::Link::Config lcfg;
+  lcfg.delay = sim::Duration::micros(50);
+  net::Link link(loop, lcfg, "bench");
+  net::Middlebox mb(loop);
+  link.set_sink([&mb](net::Packet&& p) { mb.on_from_client(std::move(p)); });
+  std::uint64_t arrived = 0;
+  mb.attach(
+      [&](net::Packet&& p) {
+        ++arrived;
+        loop.payload_pool().release(std::move(p.payload));
+      },
+      [](net::Packet&&) {});
+
+  constexpr int kPackets = 64;
+  constexpr std::size_t kPayloadBytes = 1200;
+  const auto push_burst = [&] {
+    for (int i = 0; i < kPackets; ++i) {
+      net::Packet p;
+      p.id = static_cast<std::uint64_t>(i);
+      p.payload = loop.payload_pool().acquire();
+      p.payload.assign(kPayloadBytes, 0xab);
+      link.send(std::move(p));
+    }
+    loop.run();
+  };
+  push_burst();  // warm the pool, the ring queue, and the event slab
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    push_burst();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(arrived);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+  state.counters["allocs_per_packet"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * kPackets));
+}
+BENCHMARK(BM_PacketForwardSteadyState);
 
 void BM_RngU64(benchmark::State& state) {
   sim::Rng rng(1);

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the sweep benches.
+
+Compares a freshly produced BENCH_sweep.json against the committed
+bench/baseline.json and fails (exit 1) when either of these regresses
+beyond the tolerance on any sweep label present in both files:
+
+  * trials_per_sec drops below (1 - TOLERANCE) x baseline  -> slower
+  * allocs_per_event rises above (1 + TOLERANCE) x baseline + ABS_EPS
+    -> the hot path started allocating again
+
+It also fails if the run's "deterministic" flag is false, or if a label
+recorded in the baseline is missing from the run (a silently dropped
+sweep would otherwise hide a regression forever).
+
+Refreshing the baseline
+-----------------------
+When a PR intentionally changes performance (hardware-independent ratios
+like allocs_per_event should stay put; trials_per_sec moves with real
+optimisations), regenerate and commit the baseline:
+
+    cmake --build build -j --target bench_table2_accuracy
+    cd build && ./bench/bench_table2_accuracy 4
+    cp BENCH_sweep.json ../bench/baseline.json
+
+and mention the before/after numbers in the PR description. The
+tolerance is deliberately wide (+-25%) so machine-to-machine variance in
+trials_per_sec does not flap the gate; allocs_per_event is a pure
+function of the workload and barely moves between machines.
+
+Usage:
+    python3 bench/check_regression.py <BENCH_sweep.json> [baseline.json]
+"""
+
+import json
+import os
+import sys
+
+TOLERANCE = 0.25
+# Absolute slack for allocs_per_event: warm-up allocations shift slightly
+# with trial count, and a ratio near zero makes pure relative comparison
+# brittle.
+ABS_EPS = 0.002
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fmt_delta(new, old):
+    if old == 0:
+        return "n/a" if new == 0 else "+inf"
+    return f"{(new - old) / old * 100.0:+.1f}%"
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    sweep_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
+    )
+
+    run = load(sweep_path)
+    base = load(baseline_path)
+
+    failures = []
+    if not run.get("deterministic", False):
+        failures.append("run reports deterministic=false")
+
+    run_by_label = {e["label"]: e for e in run.get("sweeps", [])}
+    base_by_label = {e["label"]: e for e in base.get("sweeps", [])}
+
+    rows = []
+    for label, b in base_by_label.items():
+        r = run_by_label.get(label)
+        if r is None:
+            failures.append(f"sweep '{label}' present in baseline but missing from run")
+            continue
+
+        tps_new, tps_old = r["trials_per_sec"], b["trials_per_sec"]
+        ape_new, ape_old = r.get("allocs_per_event", 0.0), b.get("allocs_per_event", 0.0)
+
+        tps_floor = tps_old * (1.0 - TOLERANCE)
+        ape_ceil = ape_old * (1.0 + TOLERANCE) + ABS_EPS
+
+        verdicts = []
+        if tps_new < tps_floor:
+            verdicts.append(f"trials/s {tps_new:.2f} < floor {tps_floor:.2f}")
+        if ape_new > ape_ceil:
+            verdicts.append(f"allocs/event {ape_new:.6f} > ceil {ape_ceil:.6f}")
+        if verdicts:
+            failures.append(f"sweep '{label}': " + "; ".join(verdicts))
+
+        rows.append(
+            (
+                label,
+                f"{tps_old:.2f}",
+                f"{tps_new:.2f}",
+                fmt_delta(tps_new, tps_old),
+                f"{ape_old:.6f}",
+                f"{ape_new:.6f}",
+                fmt_delta(ape_new, ape_old),
+                "FAIL" if verdicts else "ok",
+            )
+        )
+
+    header = (
+        "sweep",
+        "trials/s (base)",
+        "trials/s (run)",
+        "delta",
+        "allocs/event (base)",
+        "allocs/event (run)",
+        "delta",
+        "verdict",
+    )
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    print(line(header))
+    print(line(tuple("-" * w for w in widths)))
+    for row in rows:
+        print(line(row))
+    print()
+
+    if failures:
+        print("REGRESSION GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nIf this change is intentional, refresh bench/baseline.json")
+        print("(instructions in this script's header).")
+        return 1
+
+    print(f"regression gate passed (tolerance +-{TOLERANCE:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -47,6 +47,16 @@ struct SweepEntry {
   double trials_per_sec = 0.0;
   /// > 0 only for run_with_speedup sweeps: wall(1 thread) / wall(N threads).
   double speedup_vs_1thread = 0.0;
+  /// Allocation accounting summed over the sweep's TrialResults: simulator
+  /// events executed, middlebox-forwarded packets, and hot-path heap
+  /// allocations (slab growth + oversized callbacks + heap-array growth +
+  /// payload-pool misses). The per-event/per-packet ratios are what
+  /// bench/check_regression.py gates against bench/baseline.json.
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t hot_path_allocs = 0;
+  double allocs_per_event = 0.0;
+  double allocs_per_packet = 0.0;
 };
 
 /// Owns a bench run's perf record: every run()/run_with_speedup() appends an
@@ -86,7 +96,7 @@ class SweepSession {
         experiment::run_trials(cfgs, seq);
     const double wall_1 = seconds_since(t0);
     if (jobs_ <= 1) {
-      record(label, cfgs.size(), 1, wall_1, 1.0);
+      record(label, sequential, 1, wall_1, 1.0);
       return sequential;
     }
     experiment::RunOptions par;
@@ -102,8 +112,7 @@ class SweepSession {
                    "differ from sequential\n",
                    label.c_str());
     }
-    record(label, cfgs.size(), jobs_, wall_n,
-           wall_n > 0 ? wall_1 / wall_n : 0.0);
+    record(label, parallel, jobs_, wall_n, wall_n > 0 ? wall_1 / wall_n : 0.0);
     return parallel;
   }
 
@@ -119,22 +128,36 @@ class SweepSession {
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<experiment::TrialResult> results =
         experiment::run_trials(cfgs, opts);
-    record(label, cfgs.size(), opts.jobs > 0 ? opts.jobs : jobs_,
+    record(label, results, opts.jobs > 0 ? opts.jobs : jobs_,
            seconds_since(t0), speedup);
     return results;
   }
 
-  void record(const std::string& label, std::size_t trials, int jobs,
+  void record(const std::string& label,
+              const std::vector<experiment::TrialResult>& results, int jobs,
               double wall, double speedup) {
     SweepEntry e;
     e.label = label;
-    e.trials = trials;
+    e.trials = results.size();
     e.jobs = jobs;
     e.wall_seconds = wall;
-    e.trials_per_sec = wall > 0 ? static_cast<double>(trials) / wall : 0.0;
+    e.trials_per_sec =
+        wall > 0 ? static_cast<double>(results.size()) / wall : 0.0;
     e.speedup_vs_1thread = speedup;
-    std::fprintf(stderr, "[sweep] %s: %zu trials in %.2fs (%.1f trials/s, %d jobs)\n",
-                 label.c_str(), trials, wall, e.trials_per_sec, jobs);
+    for (const experiment::TrialResult& r : results) {
+      e.events += r.sim_events_executed;
+      e.packets += r.packets_forwarded;
+      e.hot_path_allocs += r.sim_hot_path_allocs;
+    }
+    e.allocs_per_event =
+        e.events ? static_cast<double>(e.hot_path_allocs) / static_cast<double>(e.events) : 0.0;
+    e.allocs_per_packet =
+        e.packets ? static_cast<double>(e.hot_path_allocs) / static_cast<double>(e.packets) : 0.0;
+    std::fprintf(stderr,
+                 "[sweep] %s: %zu trials in %.2fs (%.1f trials/s, %d jobs, "
+                 "%.4f allocs/event)\n",
+                 label.c_str(), e.trials, wall, e.trials_per_sec, jobs,
+                 e.allocs_per_event);
     entries_.push_back(std::move(e));
   }
 
@@ -161,15 +184,22 @@ class SweepSession {
       const SweepEntry& e = entries_[i];
       total_trials += e.trials;
       total_wall += e.wall_seconds;
-      char buf[256];
+      char buf[512];
       out += i ? ",\n    " : "\n    ";
       out += "{\"label\": \"";
       append_escaped(out, e.label);
       std::snprintf(buf, sizeof(buf),
                     "\", \"trials\": %zu, \"jobs\": %d, \"wall_seconds\": %.6f, "
-                    "\"trials_per_sec\": %.3f, \"speedup_vs_1thread\": %.3f}",
+                    "\"trials_per_sec\": %.3f, \"speedup_vs_1thread\": %.3f, "
+                    "\"events\": %llu, \"packets\": %llu, "
+                    "\"hot_path_allocs\": %llu, \"allocs_per_event\": %.6f, "
+                    "\"allocs_per_packet\": %.6f}",
                     e.trials, e.jobs, e.wall_seconds, e.trials_per_sec,
-                    e.speedup_vs_1thread);
+                    e.speedup_vs_1thread,
+                    static_cast<unsigned long long>(e.events),
+                    static_cast<unsigned long long>(e.packets),
+                    static_cast<unsigned long long>(e.hot_path_allocs),
+                    e.allocs_per_event, e.allocs_per_packet);
       out += buf;
     }
     out += entries_.empty() ? "],\n" : "\n  ],\n";

@@ -230,6 +230,22 @@ TrialResult run_trial(const TrialConfig& cfg) {
       static_cast<std::size_t>(reg.counter_value("attack.records_observed"));
   r.gets_counted = static_cast<int>(reg.counter_value("attack.gets_counted"));
 
+  // Allocation accounting, exported both on the TrialResult (for the bench
+  // perf record) and as registry counters (so metric snapshots and the
+  // metrics_inspector see them alongside everything else).
+  const sim::EventLoop::AllocStats& alloc = loop.alloc_stats();
+  const sim::BufferPool::Stats& pool = loop.payload_pool().stats();
+  reg.counter("sim.events_executed").add(loop.executed_events());
+  reg.counter("sim.alloc.slab_chunks").add(alloc.slab_chunks);
+  reg.counter("sim.alloc.callback_heap").add(alloc.callback_heap);
+  reg.counter("sim.alloc.heap_growth").add(alloc.heap_growth);
+  reg.counter("sim.alloc.pool_misses").add(pool.misses);
+  reg.counter("sim.alloc.pool_hits").add(pool.hits);
+  r.sim_events_executed = loop.executed_events();
+  r.packets_forwarded = reg.counter_value("net.mb_forwarded");
+  r.sim_hot_path_allocs =
+      alloc.slab_chunks + alloc.callback_heap + alloc.heap_growth + pool.misses;
+
   if (cfg.metrics_inspector) cfg.metrics_inspector(reg.snapshot());
 
   double last_done = 0.0;

@@ -117,6 +117,16 @@ struct TrialResult {
   int gets_counted = 0;
   double page_load_seconds = 0.0;
 
+  /// Perf accounting for the benchmark-regression gate: total events the
+  /// trial's loop executed, packets the middlebox forwarded, and heap
+  /// allocations attributable to the simulator hot path (event-slab growth,
+  /// oversized callbacks, heap-array growth, payload-pool misses). All three
+  /// are pure functions of the config, so they participate in the
+  /// determinism comparison like every other field.
+  std::uint64_t sim_events_executed = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t sim_hot_path_allocs = 0;
+
   /// Wire-level retransmission count as a tshark user would measure it:
   /// TCP retransmissions plus duplicate application requests.
   std::uint64_t wire_retransmissions() const {

@@ -31,6 +31,7 @@ void Link::send(Packet&& p) {
                  obs::track::kNetwork, p.tcp.src_port,
                  obs::TraceArgs().add("packet", p.describe()).take());
     }
+    loop_.payload_pool().release(std::move(p.payload));
     return;
   }
   if (queued_bytes_ + p.wire_size() > cfg_.queue_limit_bytes) {
@@ -47,6 +48,7 @@ void Link::send(Packet&& p) {
                      .add("packet", p.describe())
                      .take());
     }
+    loop_.payload_pool().release(std::move(p.payload));
     return;
   }
   queued_bytes_ += p.wire_size();

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
@@ -9,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
+#include "sim/ring_queue.hpp"
 
 namespace h2sim::net {
 
@@ -64,7 +64,7 @@ class Link {
   std::string name_;
   std::function<void(Packet&&)> sink_;
 
-  std::deque<Packet> queue_;
+  sim::RingQueue<Packet> queue_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
   sim::Rng loss_rng_;

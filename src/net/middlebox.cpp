@@ -62,6 +62,7 @@ void Middlebox::process(Packet&& p, Direction dir) {
                        .add("packet", p.describe())
                        .take());
       }
+      loop_.payload_pool().release(std::move(p.payload));
       return;
     case Decision::Action::kHold: {
       ++stats_.held;
@@ -95,6 +96,7 @@ void Middlebox::forward(Packet&& p, Direction dir) {
     if (!wait) {
       ++stats_.dropped;  // shaping queue overflow
       metrics_.dropped.inc();
+      loop_.payload_pool().release(std::move(p.payload));
       return;
     }
     if (*wait > sim::Duration::zero()) {

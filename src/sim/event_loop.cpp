@@ -1,5 +1,6 @@
 #include "sim/event_loop.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -17,22 +18,76 @@ std::string format_duration(Duration d) {
   return buf;
 }
 
+namespace detail {
+
+std::uint32_t EventSlab::acquire() {
+  if (free_head == kNoFree) {
+    // Exhausted: add one chunk and thread its slots onto the free list so
+    // indices are handed out ascending within the chunk.
+    const auto base = static_cast<std::uint32_t>(chunks.size()) << kChunkShift;
+    chunks.push_back(std::make_unique<Slot[]>(kChunkSize));
+    ++chunk_allocs;
+    for (std::uint32_t i = kChunkSize; i-- > 0;) {
+      Slot& s = chunks.back()[i];
+      s.next_free = free_head;
+      free_head = base + i;
+    }
+  }
+  const std::uint32_t index = free_head;
+  Slot& s = slot(index);
+  free_head = s.next_free;
+  s.next_free = kNoFree;
+  s.cancelled = false;
+  return index;
+}
+
+void EventSlab::release(std::uint32_t index) {
+  Slot& s = slot(index);
+  s.cb.reset();
+  s.cancelled = false;
+  ++s.generation;  // invalidate every outstanding handle to this occupancy
+  s.next_free = free_head;
+  free_head = index;
+}
+
+}  // namespace detail
+
 TimerHandle EventLoop::schedule_at(TimePoint at, Callback cb) {
   if (at < now_) at = now_;
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(cb), cancelled});
-  return TimerHandle{std::move(cancelled)};
+  if (cb.on_heap()) ++alloc_stats_.callback_heap;
+  const std::uint64_t chunks_before = slab_->chunk_allocs;
+  const std::uint32_t index = slab_->acquire();
+  alloc_stats_.slab_chunks += slab_->chunk_allocs - chunks_before;
+  detail::EventSlab::Slot& slot = slab_->slot(index);
+  slot.cb = std::move(cb);
+  if (heap_.size() == heap_.capacity()) ++alloc_stats_.heap_growth;
+  heap_.push_back(HeapEntry{at, next_seq_++, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return TimerHandle{slab_, index, slot.generation};
 }
 
 bool EventLoop::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;  // skip cancelled events cheaply
-    now_ = ev.at;
-    *ev.cancelled = true;  // mark fired so late cancel() is a no-op
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    detail::EventSlab::Slot& slot = slab_->slot(top.index);
+    // Each heap entry corresponds 1:1 to a slot occupancy (slots are only
+    // released when their entry pops), so the generation always matches here;
+    // the check guards the invariant cheaply.
+    if (slot.generation != top.generation) continue;
+    if (slot.cancelled) {
+      slab_->release(top.index);  // skip cancelled events cheaply
+      continue;
+    }
+    now_ = top.at;
+    // Move the callback out and release the slot before invoking: a late
+    // cancel() is then a no-op, and the callback may freely schedule new
+    // events (possibly reusing this very slot).
+    Callback cb = std::move(slot.cb);
+    slab_->release(top.index);
     ++executed_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;
@@ -41,8 +96,8 @@ bool EventLoop::step() {
 std::size_t EventLoop::run(TimePoint until) {
   stopped_ = false;
   std::size_t n = 0;
-  while (!stopped_ && !queue_.empty()) {
-    if (queue_.top().at > until) break;
+  while (!stopped_ && !heap_.empty()) {
+    if (heap_.front().at > until) break;
     if (step()) ++n;
   }
   if (now_ < until && until != TimePoint::max()) now_ = until;

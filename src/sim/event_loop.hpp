@@ -1,45 +1,118 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/buffer_pool.hpp"
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace h2sim::sim {
 
+namespace detail {
+
+/// Slab of event slots, shared between the loop and its TimerHandles.
+///
+/// Slots are recycled through a free list; each slot carries a generation
+/// counter that is bumped on every release, so a handle created for one
+/// occupancy can never act on a later occupant (ABA-safe cancel). The slab
+/// itself is owned by a shared_ptr: handles hold a weak_ptr, which makes a
+/// handle that outlives its EventLoop a harmless no-op instead of a
+/// use-after-free.
+///
+/// Storage grows in fixed chunks whose slot addresses never move, so slots
+/// stay valid across growth triggered from inside a running callback.
+struct EventSlab {
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // slots/chunk
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
+
+  struct Slot {
+    InlineCallback cb;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoFree;
+    bool cancelled = false;
+  };
+
+  std::vector<std::unique_ptr<Slot[]>> chunks;
+  std::uint32_t free_head = kNoFree;
+  std::uint64_t chunk_allocs = 0;  // growth events, for AllocStats
+
+  Slot& slot(std::uint32_t index) {
+    return chunks[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  /// Pops a free slot, growing the slab by one chunk when exhausted.
+  std::uint32_t acquire();
+  /// Bumps the generation and returns the slot to the free list.
+  void release(std::uint32_t index);
+};
+
+}  // namespace detail
+
 /// Handle to a scheduled event; allows cancellation. Handles are cheap,
-/// copyable tokens. Cancelling an already-fired or already-cancelled event
-/// is a harmless no-op, which keeps timer management in protocol code simple.
+/// copyable tokens. Cancelling an already-fired or already-cancelled event is
+/// a harmless no-op, as is any use of a handle whose EventLoop has been
+/// destroyed — the handle observes the slab through a weak_ptr and the slot
+/// through its generation counter, so stale handles can never touch recycled
+/// state.
 class TimerHandle {
  public:
   TimerHandle() = default;
 
   /// True if the event has neither fired nor been cancelled.
-  bool pending() const { return state_ && !*state_; }
+  bool pending() const {
+    const auto slab = slab_.lock();
+    if (!slab) return false;
+    const auto& s = slab->slot(index_);
+    return s.generation == generation_ && !s.cancelled;
+  }
 
   void cancel() {
-    if (state_) *state_ = true;
+    const auto slab = slab_.lock();
+    if (!slab) return;
+    auto& s = slab->slot(index_);
+    if (s.generation != generation_) return;  // slot recycled: not our event
+    s.cancelled = true;
+    s.cb.reset();  // free captured resources now; the heap entry pops later
   }
 
  private:
   friend class EventLoop;
-  explicit TimerHandle(std::shared_ptr<bool> cancelled)
-      : state_(std::move(cancelled)) {}
-  // Shared with the queued event: set to true when cancelled or fired.
-  std::shared_ptr<bool> state_;
+  TimerHandle(std::weak_ptr<detail::EventSlab> slab, std::uint32_t index,
+              std::uint32_t generation)
+      : slab_(std::move(slab)), index_(index), generation_(generation) {}
+
+  std::weak_ptr<detail::EventSlab> slab_;
+  std::uint32_t index_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// Deterministic discrete-event loop. Events scheduled for the same instant
 /// fire in insertion order (stable FIFO tie-break), which makes every run a
 /// pure function of the schedule and keeps protocol traces reproducible.
+///
+/// The steady-state path is allocation-free: callbacks live inline in
+/// slab-recycled slots (see EventSlab), the time-ordered binary heap holds
+/// 24-byte entries in a vector that only ever grows, and the loop carries a
+/// BufferPool from which packet payloads are recycled. AllocStats counts the
+/// residual heap traffic (slab growth, oversized callbacks, heap-array
+/// growth) so tests and benchmarks can assert it reaches zero.
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
-  EventLoop() = default;
+  /// Heap-allocation events attributable to the scheduling hot path. In
+  /// steady state (slab and heap warmed up, callbacks inline) all three stay
+  /// constant while executed_events() keeps climbing.
+  struct AllocStats {
+    std::uint64_t slab_chunks = 0;    // event slab growth (kChunkSize slots each)
+    std::uint64_t callback_heap = 0;  // callbacks too large for inline storage
+    std::uint64_t heap_growth = 0;    // binary-heap vector reallocations
+  };
+
+  EventLoop() : slab_(std::make_shared<detail::EventSlab>()) {}
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -61,8 +134,8 @@ class EventLoop {
   /// Executes exactly one event if any is pending. Returns false when idle.
   bool step();
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
   /// Hard stop from inside a callback: run() returns after the current event.
@@ -74,15 +147,25 @@ class EventLoop {
   /// state between concurrently running trials.
   std::uint64_t allocate_id() { return ++next_id_; }
 
+  /// Recycler for packet payload buffers. Producers (TcpConnection::emit)
+  /// acquire, the terminal consumer of a packet (TcpStack::deliver, drop
+  /// paths) releases; scoping the pool to the loop keeps recycling
+  /// deterministic and trial-private.
+  BufferPool& payload_pool() { return payload_pool_; }
+
+  const AllocStats& alloc_stats() const { return alloc_stats_; }
+
  private:
-  struct Event {
+  struct HeapEntry {
     TimePoint at;
     std::uint64_t seq;  // insertion order; ties broken FIFO
-    Callback cb;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t index;
+    std::uint32_t generation;
   };
+  /// std:: heap ordering predicate: "a fires later than b" puts the earliest
+  /// (lowest at, then lowest seq) entry at the front of the max-heap.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
@@ -93,7 +176,10 @@ class EventLoop {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::shared_ptr<detail::EventSlab> slab_;
+  std::vector<HeapEntry> heap_;
+  BufferPool payload_pool_;
+  AllocStats alloc_stats_;
 };
 
 }  // namespace h2sim::sim

@@ -10,7 +10,14 @@
 
 namespace h2sim::sim {
 
-enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5
+};
 
 /// Parses "trace" / "debug" / "info" / "warn" / "error" / "off"
 /// (case-insensitive).

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace h2sim::sim {
+
+/// FIFO queue over a circular buffer. Unlike std::deque — whose block map
+/// allocates and frees nodes as the head crosses block boundaries even at
+/// constant size — a warmed-up RingQueue performs no allocation at all, which
+/// the simulator's hot paths (link transmit queues) rely on.
+///
+/// T must be default-constructible and move-assignable; callers take
+/// ownership of an element by moving out of front() before pop_front().
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  void push_back(T&& v) {
+    if (count_ == slots_.size()) grow();
+    slots_[wrap(head_ + count_)] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    slots_[head_] = T{};  // drop resources now, not at overwrite time
+    head_ = wrap(head_ + 1);
+    --count_;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::size_t wrap(std::size_t i) const {
+    return i >= slots_.size() ? i - slots_.size() : i;
+  }
+
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(slots_[wrap(head_ + i)]);
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace h2sim::sim

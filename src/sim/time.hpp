@@ -16,7 +16,9 @@ class Duration {
   static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
   static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
   static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
-  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) {
+    return Duration{s * 1'000'000'000};
+  }
   static constexpr Duration millis_f(double m) {
     return Duration{static_cast<std::int64_t>(m * 1e6)};
   }

@@ -115,6 +115,9 @@ void TcpConnection::emit(std::uint8_t flags, std::uint32_t seq,
   if (payload_len > 0) {
     const std::size_t off = seq - buf_seq_;
     assert(off + payload_len <= send_buf_.size());
+    // Recycled buffer: the assign reuses pooled capacity, so steady-state
+    // segment emission performs no heap allocation.
+    p.payload = loop_.payload_pool().acquire();
     p.payload.assign(send_buf_.begin() + static_cast<std::ptrdiff_t>(off),
                      send_buf_.begin() + static_cast<std::ptrdiff_t>(off + payload_len));
   }
@@ -535,12 +538,14 @@ void TcpConnection::handle_payload(const net::Packet& p) {
         // cumulative acknowledgment, exactly like a real stack that
         // processes the segment batch before the app runs.
         const std::size_t skip = rcv_nxt_ - seq;
-        std::vector<std::uint8_t> ready(p.payload.begin() + static_cast<std::ptrdiff_t>(skip),
-                                        p.payload.end());
+        std::vector<std::uint8_t> ready = loop_.payload_pool().acquire();
+        ready.assign(p.payload.begin() + static_cast<std::ptrdiff_t>(skip),
+                     p.payload.end());
         rcv_nxt_ = end;
         collect_in_order(ready);
         stats_.bytes_received += ready.size();
         if (cbs_.on_data) cbs_.on_data(std::span(ready));
+        loop_.payload_pool().release(std::move(ready));
       } else {
         ++stats_.dup_acks_sent;  // pure duplicate segment
       }

@@ -16,6 +16,14 @@ TcpConnection& TcpStack::connect(net::NodeId dst, net::Port dst_port) {
 }
 
 void TcpStack::deliver(net::Packet&& p) {
+  // This stack is the packet's terminal consumer: whatever happens below, the
+  // payload buffer goes back to the loop's pool on exit so the next emitted
+  // segment reuses it instead of allocating.
+  handle(p);
+  loop_.payload_pool().release(std::move(p.payload));
+}
+
+void TcpStack::handle(const net::Packet& p) {
   if (p.dst != node_) return;  // not addressed to us (mis-wired topology)
   const ConnKey key{p.tcp.dst_port, p.src, p.tcp.src_port};
   auto it = conns_.find(key);

@@ -42,7 +42,8 @@ class TcpStack {
   /// stack, stable address for the lifetime of the stack).
   TcpConnection& connect(net::NodeId dst, net::Port dst_port);
 
-  /// Entry point wired into the topology's delivery sink.
+  /// Entry point wired into the topology's delivery sink. Consumes the
+  /// packet: its payload buffer is recycled into the loop's payload pool.
   void deliver(net::Packet&& p);
 
   net::NodeId node() const { return node_; }
@@ -54,6 +55,8 @@ class TcpStack {
 
  private:
   using ConnKey = std::tuple<net::Port, net::NodeId, net::Port>;
+
+  void handle(const net::Packet& p);
 
   sim::EventLoop& loop_;
   sim::Rng rng_;

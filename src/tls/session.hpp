@@ -71,6 +71,12 @@ class TlsSession {
   void handle_handshake_record(const RecordParser::Record& rec);
   void send_record(ContentType type, std::span<const std::uint8_t> body);
   void send_handshake_flight(std::size_t size);
+  /// XORs the deterministic keystream over [src, src+n) into dst, starting
+  /// at absolute keystream offset `stream_off`. Word-at-a-time on the aligned
+  /// middle; bit-identical to the bytewise definition.
+  void apply_keystream(std::uint64_t key, std::uint64_t stream_off,
+                       const std::uint8_t* src, std::uint8_t* dst,
+                       std::size_t n) const;
   std::vector<std::uint8_t> protect(std::span<const std::uint8_t> plaintext);
   bool unprotect(std::span<const std::uint8_t> body,
                  std::vector<std::uint8_t>& plaintext_out);

@@ -1,0 +1,253 @@
+// Stress tests for the allocation-free event-loop core: slab recycling under
+// schedule/cancel/reschedule churn, generation-counter safety for stale and
+// loop-outliving handles, FIFO ordering under slot reuse, and the BufferPool
+// and RingQueue building blocks. The steady-state assertions pin the
+// tentpole guarantee: once warmed, the hot path's AllocStats stop moving.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/buffer_pool.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/ring_queue.hpp"
+
+namespace h2sim::sim {
+namespace {
+
+TEST(SimChurn, ScheduleCancelRescheduleStorm) {
+  EventLoop loop;
+  int fired = 0;
+  // Repeatedly schedule a batch, cancel half, reschedule replacements. The
+  // slab must recycle slots instead of growing without bound.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<TimerHandle> handles;
+    for (int i = 0; i < 64; ++i) {
+      handles.push_back(
+          loop.schedule_after(Duration::micros(i), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 64; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+    for (int i = 0; i < 32; ++i) {
+      loop.schedule_after(Duration::micros(100 + i), [&fired] { ++fired; });
+    }
+    loop.run();
+  }
+  EXPECT_EQ(fired, 100 * (32 + 32));
+  // 64 + 32 live slots per round, recycled every round: one slab chunk (256
+  // slots) is plenty, and the churn must not have grown it further.
+  EXPECT_EQ(loop.alloc_stats().slab_chunks, 1u);
+  EXPECT_EQ(loop.alloc_stats().callback_heap, 0u);
+}
+
+TEST(SimChurn, SteadyStateAllocStatsStopMoving) {
+  EventLoop loop;
+  int fired = 0;
+  const auto burst = [&] {
+    for (int i = 0; i < 500; ++i) {
+      loop.schedule_after(Duration::micros(i), [&fired] { ++fired; });
+    }
+    loop.run();
+  };
+  burst();  // warm-up: slab chunks + heap growth happen here
+  const EventLoop::AllocStats warm = loop.alloc_stats();
+  EXPECT_GT(warm.slab_chunks, 0u);  // the growth path did run
+  for (int round = 0; round < 20; ++round) burst();
+  const EventLoop::AllocStats& after = loop.alloc_stats();
+  EXPECT_EQ(after.slab_chunks, warm.slab_chunks);
+  EXPECT_EQ(after.callback_heap, warm.callback_heap);
+  EXPECT_EQ(after.heap_growth, warm.heap_growth);
+  EXPECT_EQ(fired, 21 * 500);
+}
+
+TEST(SimChurn, CancelFromInsideCallback) {
+  EventLoop loop;
+  bool victim_fired = false;
+  TimerHandle victim;
+  // The canceller runs first (same instant, scheduled earlier) and cancels
+  // the victim while it is already in the heap.
+  loop.schedule_after(Duration::micros(10), [&] { victim.cancel(); });
+  victim = loop.schedule_after(Duration::micros(10),
+                               [&victim_fired] { victim_fired = true; });
+  loop.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_FALSE(victim.pending());
+}
+
+TEST(SimChurn, CancelOwnHandleInsideCallbackIsNoop) {
+  EventLoop loop;
+  int fired = 0;
+  TimerHandle self;
+  self = loop.schedule_after(Duration::micros(1), [&] {
+    ++fired;
+    // The slot was released before the callback ran; cancelling the handle
+    // now must neither crash nor disturb a slot reused by this schedule.
+    self.cancel();
+    loop.schedule_after(Duration::micros(1), [&fired] { ++fired; });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimChurn, SameInstantFifoOrderSurvivesSlabReuse) {
+  EventLoop loop;
+  // Force heavy slot recycling first so the same-instant batch lands in
+  // shuffled slab positions.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<TimerHandle> hs;
+    for (int i = 0; i < 97; ++i) {
+      hs.push_back(loop.schedule_after(Duration::micros(i % 7), [] {}));
+    }
+    for (int i = 0; i < 97; i += 3) hs[static_cast<std::size_t>(i)].cancel();
+    loop.run();
+  }
+  std::vector<int> order;
+  const TimePoint at = loop.now() + Duration::millis(1);
+  for (int i = 0; i < 64; ++i) {
+    loop.schedule_at(at, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimChurn, SlabGrowsPastOneChunkAndStabilizes) {
+  EventLoop loop;
+  int fired = 0;
+  const auto flood = [&] {
+    // More pending events than one 256-slot chunk holds.
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_after(Duration::micros(i), [&fired] { ++fired; });
+    }
+    loop.run();
+  };
+  flood();
+  const std::uint64_t chunks = loop.alloc_stats().slab_chunks;
+  EXPECT_GE(chunks, 4u);  // 1000 concurrent slots need >= 4 chunks
+  flood();
+  flood();
+  EXPECT_EQ(loop.alloc_stats().slab_chunks, chunks);  // pool-exhaustion growth
+                                                      // is a one-time cost
+  EXPECT_EQ(fired, 3000);
+}
+
+TEST(SimChurn, HandleOutlivesEventLoop) {
+  TimerHandle fired_handle;
+  TimerHandle pending_handle;
+  {
+    EventLoop loop;
+    fired_handle = loop.schedule_after(Duration::micros(1), [] {});
+    pending_handle = loop.schedule_after(Duration::seconds(60), [] {});
+    loop.run(TimePoint::origin() + Duration::millis(1));
+  }
+  // The loop (and its slab) are gone: every handle operation must be a
+  // harmless no-op.
+  EXPECT_FALSE(fired_handle.pending());
+  EXPECT_FALSE(pending_handle.pending());
+  fired_handle.cancel();
+  pending_handle.cancel();
+}
+
+TEST(SimChurn, StaleGenerationHandleCannotTouchRecycledSlot) {
+  EventLoop loop;
+  bool second_fired = false;
+  TimerHandle first = loop.schedule_after(Duration::micros(1), [] {});
+  loop.run();  // slot released; generation bumped
+  // The next schedule recycles the same slot with a new generation.
+  TimerHandle second = loop.schedule_after(Duration::micros(1),
+                                           [&second_fired] { second_fired = true; });
+  EXPECT_FALSE(first.pending());
+  first.cancel();  // stale generation: must NOT cancel the new occupant
+  EXPECT_TRUE(second.pending());
+  loop.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(SimChurn, CancelledEventConsumesNoExecution) {
+  EventLoop loop;
+  int fired = 0;
+  TimerHandle h = loop.schedule_after(Duration::micros(5), [&fired] { ++fired; });
+  loop.schedule_after(Duration::micros(9), [&fired] { ++fired; });
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.executed_events(), 1u);
+}
+
+TEST(SimChurn, OversizedCallbackFallsBackToHeapAndStillRuns) {
+  EventLoop loop;
+  // Capture well past the inline small-buffer capacity.
+  struct Big {
+    std::uint8_t bytes[256] = {};
+  };
+  Big big;
+  big.bytes[0] = 42;
+  int seen = 0;
+  loop.schedule_after(Duration::micros(1),
+                      [big, &seen] { seen = big.bytes[0]; });
+  EXPECT_EQ(loop.alloc_stats().callback_heap, 1u);
+  loop.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(BufferPoolTest, RecyclesCapacityAndCountsHitsMisses) {
+  BufferPool pool;
+  std::vector<std::uint8_t> a = pool.acquire();
+  EXPECT_EQ(pool.stats().misses, 1u);
+  a.assign(1000, 0xab);
+  const std::uint8_t* data = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.stats().recycled, 1u);
+  std::vector<std::uint8_t> b = pool.acquire();
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 1000u);
+  EXPECT_EQ(b.data(), data);  // same storage came back
+}
+
+TEST(BufferPoolTest, IgnoresUnallocatedBuffersAndCapsSize) {
+  BufferPool pool;
+  pool.release({});  // capacity 0: not pooled
+  EXPECT_EQ(pool.size(), 0u);
+  for (std::size_t i = 0; i < BufferPool::kMaxPooled + 5; ++i) {
+    std::vector<std::uint8_t> v(8);
+    pool.release(std::move(v));
+  }
+  EXPECT_EQ(pool.size(), BufferPool::kMaxPooled);
+  EXPECT_EQ(pool.stats().discarded, 5u);
+}
+
+TEST(RingQueueTest, FifoOrderAcrossGrowthAndWraparound) {
+  RingQueue<int> q;
+  int next_in = 0;
+  int next_out = 0;
+  // Interleave pushes and pops so the head wraps repeatedly while the queue
+  // grows from empty through several capacity doublings.
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 3; ++i) q.push_back(next_in++);
+    for (int i = 0; i < 2 && !q.empty(); ++i) {
+      EXPECT_EQ(q.front(), next_out++);
+      q.pop_front();
+    }
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.front(), next_out++);
+    q.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingQueueTest, PopReleasesElementResources) {
+  RingQueue<std::vector<int>> q;
+  q.push_back(std::vector<int>(100, 7));
+  q.pop_front();
+  ASSERT_GE(q.capacity(), 1u);
+  // The popped slot must have been reset, not left holding storage.
+  q.push_back(std::vector<int>{});
+  EXPECT_EQ(q.front().capacity(), 0u);
+}
+
+}  // namespace
+}  // namespace h2sim::sim
