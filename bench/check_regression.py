@@ -13,6 +13,11 @@ It also fails if the run's "deterministic" flag is false, or if a label
 recorded in the baseline is missing from the run (a silently dropped
 sweep would otherwise hide a regression forever).
 
+The reverse direction is checked too: a sweep present in the run but
+absent from the baseline is reported, and with --strict-new it fails
+the gate — CI passes the flag so a newly added bench cannot merge
+without its baseline entry, which would leave it permanently ungated.
+
 Refreshing the baseline
 -----------------------
 When a PR intentionally changes performance (hardware-independent ratios
@@ -29,7 +34,7 @@ trials_per_sec does not flap the gate; allocs_per_event is a pure
 function of the workload and barely moves between machines.
 
 Usage:
-    python3 bench/check_regression.py <BENCH_sweep.json> [baseline.json]
+    python3 bench/check_regression.py [--strict-new] <BENCH_sweep.json> [baseline.json]
 """
 
 import json
@@ -55,13 +60,16 @@ def fmt_delta(new, old):
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    strict_new = "--strict-new" in args
+    args = [a for a in args if a != "--strict-new"]
+    if not args:
         sys.stderr.write(__doc__)
         return 2
-    sweep_path = argv[1]
+    sweep_path = args[0]
     baseline_path = (
-        argv[2]
-        if len(argv) > 2
+        args[1]
+        if len(args) > 1
         else os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
     )
 
@@ -108,6 +116,31 @@ def main(argv):
                 "FAIL" if verdicts else "ok",
             )
         )
+
+    # Reverse direction: sweeps the run produced that the baseline has never
+    # seen. Without a baseline entry they are ungated, so CI (--strict-new)
+    # refuses them until bench/baseline.json is refreshed alongside the new
+    # bench.
+    new_labels = [label for label in run_by_label if label not in base_by_label]
+    for label in new_labels:
+        r = run_by_label[label]
+        rows.append(
+            (
+                label,
+                "-",
+                f"{r['trials_per_sec']:.2f}",
+                "n/a",
+                "-",
+                f"{r.get('allocs_per_event', 0.0):.6f}",
+                "n/a",
+                "NEW" if not strict_new else "FAIL",
+            )
+        )
+        msg = f"sweep '{label}' present in run but missing from baseline"
+        if strict_new:
+            failures.append(msg + " (--strict-new)")
+        else:
+            print(f"note: {msg}; refresh bench/baseline.json to gate it")
 
     header = (
         "sweep",

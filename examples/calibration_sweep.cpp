@@ -12,13 +12,15 @@
 #include <vector>
 
 #include "analysis/stats.hpp"
+#include "cli_args.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 25;
+  const int trials =
+      examples::CliArgs(argc, argv, "[trials-per-cell]").trials(1, 25);
 
   TablePrinter table({"static chunk interval", "speed-factor spread",
                       "html not muxed", "html DoM (mean)", "emblem DoM (mean)",

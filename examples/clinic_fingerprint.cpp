@@ -15,6 +15,7 @@
 #include "analysis/boundary.hpp"
 #include "analysis/partial.hpp"
 #include "analysis/predictor.hpp"
+#include "cli_args.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
 
@@ -98,7 +99,8 @@ web::Website make_clinic_page(int condition) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 40;
+  const int trials =
+      h2sim::examples::CliArgs(argc, argv, "[trials]").trials(1, 40);
 
   // The adversary's pre-compiled signature database: every asset size on the
   // public site (shared bundles included, so merged regions can be explained

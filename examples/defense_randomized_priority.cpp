@@ -12,13 +12,14 @@
 #include <vector>
 
 #include "analysis/stats.hpp"
+#include "cli_args.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   using experiment::TablePrinter;
-  const int trials = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int trials = examples::CliArgs(argc, argv, "[trials]").trials(1, 30);
 
   TablePrinter table({"client behaviour", "positions recovered (mean of 8)",
                       "emblem sizes identified (mean of 8)", "pages completed"});

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_args.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
 
@@ -15,7 +16,7 @@ int main(int argc, char** argv) {
   using namespace h2sim;
 
   experiment::TrialConfig cfg;
-  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  cfg.seed = examples::CliArgs(argc, argv, "[seed]").seed(1, 1);
   cfg.attack.enabled = false;  // plain page load, no adversary
 
   std::printf("Loading www.isidewith.com result page (seed %llu)...\n",

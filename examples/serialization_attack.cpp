@@ -10,13 +10,14 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli_args.hpp"
 #include "experiment/harness.hpp"
 #include "experiment/table_printer.hpp"
 
 int main(int argc, char** argv) {
   using namespace h2sim;
   experiment::TrialConfig cfg;
-  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2020;
+  cfg.seed = examples::CliArgs(argc, argv, "[seed]").seed(1, 2020);
   cfg.attack = experiment::full_attack_config();
 
   std::printf("Victim loads www.isidewith.com survey results (seed %llu).\n"

@@ -15,6 +15,7 @@
 #include "analysis/boundary.hpp"
 #include "analysis/partial.hpp"
 #include "attack/monitor.hpp"
+#include "cli_args.hpp"
 #include "h2/client.hpp"
 #include "h2/server.hpp"
 #include "http/message.hpp"
@@ -39,7 +40,8 @@ std::size_t video_bytes(int rung) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  const std::uint64_t seed =
+      h2sim::examples::CliArgs(argc, argv, "[seed]").seed(1, 7);
   const int segments = 12;
 
   sim::EventLoop loop;

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli_args.hpp"
 #include "experiment/harness.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -23,8 +24,9 @@
 int main(int argc, char** argv) {
   using namespace h2sim;
   experiment::TrialConfig cfg;
-  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
-  const std::string prefix = argc > 2 ? argv[2] : "trial";
+  const examples::CliArgs args(argc, argv, "[seed] [output-prefix]");
+  cfg.seed = args.seed(1, 1);
+  const std::string prefix = args.str(2, "trial");
   cfg.attack = experiment::full_attack_config();
 
   // Record everything: every instrumented layer onto the shared timeline.

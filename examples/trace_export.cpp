@@ -14,6 +14,7 @@
 
 #include "analysis/boundary.hpp"
 #include "analysis/predictor.hpp"
+#include "cli_args.hpp"
 #include "experiment/harness.hpp"
 
 namespace {
@@ -44,9 +45,11 @@ bool write_csv(const std::string& path, const char* header,
 int main(int argc, char** argv) {
   using namespace h2sim;
   experiment::TrialConfig cfg;
-  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
-  const bool attack = argc > 2 && std::strcmp(argv[2], "attack") == 0;
-  const std::string prefix = argc > 3 ? argv[3] : "trace";
+  const examples::CliArgs args(argc, argv, "[seed] [attack|none] [prefix]");
+  cfg.seed = args.seed(1, 1);
+  const bool attack = args.choice(2, "none", "mode", {"attack", "none"}) ==
+                      "attack";
+  const std::string prefix = args.str(3, "trace");
   if (attack) cfg.attack = experiment::full_attack_config();
 
   analysis::SizeIdentityDb db;

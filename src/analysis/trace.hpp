@@ -46,6 +46,11 @@ struct RecordObs {
   net::Direction dir = net::Direction::kServerToClient;
   tls::ContentType type = tls::ContentType::kApplicationData;
   std::size_t body_len = 0;  // record length field (ciphertext + tag)
+
+  /// Field-wise equality; the capture subsystem's round-trip guarantee
+  /// (export → pcapng → reingest reproduces the live trace exactly) is
+  /// stated and tested in terms of this comparison.
+  bool operator==(const RecordObs&) const = default;
 };
 
 class PacketTrace {

@@ -1,0 +1,188 @@
+#include "capture/frame.hpp"
+
+namespace h2sim::capture {
+
+namespace {
+
+// Real TCP wire flag bits; the simulator's net::tcpflag values are a private
+// enumeration, so encode/decode translate.
+constexpr std::uint8_t kWireFin = 0x01;
+constexpr std::uint8_t kWireSyn = 0x02;
+constexpr std::uint8_t kWireRst = 0x04;
+constexpr std::uint8_t kWirePsh = 0x08;
+constexpr std::uint8_t kWireAck = 0x10;
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+void put_u16be(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16be(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] << 8 | p[1]);
+}
+
+std::uint32_t get_u32be(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 |
+         static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+void put_mac(std::vector<std::uint8_t>& b, net::NodeId node) {
+  b.push_back(0x02);  // locally administered, unicast
+  b.push_back(0x00);
+  b.push_back(0x00);
+  b.push_back(0x00);
+  b.push_back(0x00);
+  b.push_back(static_cast<std::uint8_t>(node));
+}
+
+void patch_u16be(std::vector<std::uint8_t>& b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+std::uint8_t wire_flags(const net::TcpHeader& h) {
+  std::uint8_t f = 0;
+  if (h.syn()) f |= kWireSyn;
+  if (h.ack_flag()) f |= kWireAck;
+  if (h.fin()) f |= kWireFin;
+  if (h.rst()) f |= kWireRst;
+  return f;
+}
+
+bool fail(std::string* error, const char* msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+std::uint16_t inet_checksum(std::span<const std::uint8_t> data,
+                            std::uint32_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i] << 8 | data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void encode_frame(const net::Packet& p, std::vector<std::uint8_t>& out) {
+  const std::size_t eth_off = out.size();
+
+  // Ethernet II.
+  put_mac(out, p.dst);
+  put_mac(out, p.src);
+  put_u16be(out, kEtherTypeIpv4);
+
+  // IPv4.
+  const std::size_t ip_off = out.size();
+  const std::uint16_t total_len = static_cast<std::uint16_t>(
+      kIpv4HeaderBytes + kTcpHeaderBytes + p.payload.size());
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0x00);  // DSCP/ECN
+  put_u16be(out, total_len);
+  put_u16be(out, static_cast<std::uint16_t>(p.id));  // identification
+  put_u16be(out, 0x4000);                            // DF, no fragmentation
+  out.push_back(64);                                 // TTL
+  out.push_back(6);                                  // protocol: TCP
+  put_u16be(out, 0);                                 // checksum placeholder
+  put_u32be(out, 0x0A000000u | p.src);               // 10.0.0.<src>
+  put_u32be(out, 0x0A000000u | p.dst);               // 10.0.0.<dst>
+  const std::uint16_t ip_csum =
+      inet_checksum(std::span(out.data() + ip_off, kIpv4HeaderBytes));
+  patch_u16be(out, ip_off + 10, ip_csum);
+
+  // TCP.
+  const std::size_t tcp_off = out.size();
+  put_u16be(out, p.tcp.src_port);
+  put_u16be(out, p.tcp.dst_port);
+  put_u32be(out, p.tcp.seq);
+  put_u32be(out, p.tcp.ack);
+  out.push_back(0x50);  // data offset 5, no options
+  std::uint8_t f = wire_flags(p.tcp);
+  if (!p.payload.empty() && !p.tcp.syn()) f |= kWirePsh;
+  out.push_back(f);
+  // The simulated window is not constrained to 16 bits; clamp (we write no
+  // window-scale option, and no consumer of the capture reads the window).
+  put_u16be(out, static_cast<std::uint16_t>(
+                     p.tcp.wnd > 0xFFFF ? 0xFFFF : p.tcp.wnd));
+  put_u16be(out, 0);  // checksum placeholder
+  put_u16be(out, 0);  // urgent pointer
+
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
+
+  // TCP checksum over pseudo-header + segment.
+  const std::uint32_t src_ip = 0x0A000000u | p.src;
+  const std::uint32_t dst_ip = 0x0A000000u | p.dst;
+  std::uint32_t pseudo = 0;
+  pseudo += src_ip >> 16;
+  pseudo += src_ip & 0xFFFF;
+  pseudo += dst_ip >> 16;
+  pseudo += dst_ip & 0xFFFF;
+  pseudo += 6;  // zero byte + protocol
+  const std::size_t seg_len = out.size() - tcp_off;
+  pseudo += static_cast<std::uint32_t>(seg_len);
+  const std::uint16_t tcp_csum =
+      inet_checksum(std::span(out.data() + tcp_off, seg_len), pseudo);
+  patch_u16be(out, tcp_off + 16, tcp_csum);
+
+  (void)eth_off;
+}
+
+bool decode_frame(std::span<const std::uint8_t> frame, net::Packet* p,
+                  std::string* error) {
+  if (frame.size() < kFrameOverheadBytes) return fail(error, "frame too short");
+  if (get_u16be(frame.data() + 12) != kEtherTypeIpv4) {
+    return fail(error, "not IPv4");
+  }
+
+  const std::uint8_t* ip = frame.data() + kEthernetHeaderBytes;
+  const std::size_t ip_avail = frame.size() - kEthernetHeaderBytes;
+  if ((ip[0] >> 4) != 4) return fail(error, "not IPv4");
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+  if (ihl < kIpv4HeaderBytes || ip_avail < ihl) return fail(error, "bad IHL");
+  if (ip[9] != 6) return fail(error, "not TCP");
+  const std::size_t total_len = get_u16be(ip + 2);
+  // Ethernet minimum-frame padding may trail the datagram; the IP total
+  // length delimits the real payload.
+  if (total_len < ihl || total_len > ip_avail) {
+    return fail(error, "bad IP total length");
+  }
+
+  const std::uint8_t* tcp = ip + ihl;
+  const std::size_t tcp_avail = total_len - ihl;
+  if (tcp_avail < kTcpHeaderBytes) return fail(error, "truncated TCP header");
+  const std::size_t doff = static_cast<std::size_t>(tcp[12] >> 4) * 4;
+  if (doff < kTcpHeaderBytes || doff > tcp_avail) {
+    return fail(error, "bad TCP data offset");
+  }
+
+  p->src = ip[15];  // 10.0.0.<node>
+  p->dst = ip[19];
+  p->tcp.src_port = get_u16be(tcp);
+  p->tcp.dst_port = get_u16be(tcp + 2);
+  p->tcp.seq = get_u32be(tcp + 4);
+  p->tcp.ack = get_u32be(tcp + 8);
+  const std::uint8_t wf = tcp[13];
+  p->tcp.flags = 0;
+  if (wf & kWireSyn) p->tcp.flags |= net::tcpflag::kSyn;
+  if (wf & kWireAck) p->tcp.flags |= net::tcpflag::kAck;
+  if (wf & kWireFin) p->tcp.flags |= net::tcpflag::kFin;
+  if (wf & kWireRst) p->tcp.flags |= net::tcpflag::kRst;
+  p->tcp.wnd = get_u16be(tcp + 14);
+  p->payload.assign(tcp + doff, tcp + tcp_avail);
+  return true;
+}
+
+}  // namespace h2sim::capture

@@ -1,0 +1,57 @@
+#include "capture/session.hpp"
+
+#include "capture/frame.hpp"
+#include "obs/context.hpp"
+
+namespace h2sim::capture {
+
+CaptureSession::CaptureSession(sim::EventLoop& loop, net::Path& path,
+                               CaptureConfig cfg)
+    : cfg_(std::move(cfg)), writer_(cfg_.path) {
+  (void)loop;  // taps receive their timestamps from the tapped components
+  auto& reg = obs::metrics();
+  metrics_.packets = reg.counter("capture.packets");
+  metrics_.bytes_written = reg.counter("capture.bytes_written");
+
+  // Interface ids depend only on which vantages are enabled, so a given
+  // config always produces the same interface layout (golden determinism).
+  if (cfg_.client_vantage) {
+    const std::uint32_t id =
+        writer_.add_interface("client", "victim host (c2m egress + m2c ingress)");
+    path.client_to_mb().set_send_tap(
+        [this, id](const net::Packet& p, sim::TimePoint t) { record(id, p, t); });
+    path.mb_to_client().set_deliver_tap(
+        [this, id](const net::Packet& p, sim::TimePoint t) { record(id, p, t); });
+  }
+  if (cfg_.gateway_vantage) {
+    const std::uint32_t id = writer_.add_interface(
+        "gateway", "compromised middlebox (both directions, pre-policy)");
+    path.middlebox().add_tap([this, id](const net::Packet& p, net::Direction,
+                                        sim::TimePoint t) { record(id, p, t); });
+  }
+  if (cfg_.server_vantage) {
+    const std::uint32_t id =
+        writer_.add_interface("server", "origin host (s2m egress + m2s ingress)");
+    path.server_to_mb().set_send_tap(
+        [this, id](const net::Packet& p, sim::TimePoint t) { record(id, p, t); });
+    path.mb_to_server().set_deliver_tap(
+        [this, id](const net::Packet& p, sim::TimePoint t) { record(id, p, t); });
+  }
+}
+
+void CaptureSession::record(std::uint32_t iface, const net::Packet& p,
+                            sim::TimePoint t) {
+  frame_buf_.clear();
+  encode_frame(p, frame_buf_);
+  writer_.write_packet(iface, t.count_nanos(), frame_buf_);
+  metrics_.packets.inc();
+  // Count against the total buffered size (not just this packet's block), so
+  // the section/interface header bytes are attributed to the first packet and
+  // the counter equals the final file size exactly.
+  metrics_.bytes_written.add(writer_.bytes_buffered() - counted_bytes_);
+  counted_bytes_ = writer_.bytes_buffered();
+}
+
+bool CaptureSession::close() { return writer_.close(); }
+
+}  // namespace h2sim::capture

@@ -4,9 +4,11 @@
 #include <memory>
 
 #include "analysis/boundary.hpp"
+#include "capture/session.hpp"
 #include "defense/defenses.hpp"
 #include "obs/context.hpp"
 #include "obs/trace.hpp"
+#include "sim/log.hpp"
 #include "h2/server.hpp"
 #include "tcp/tcp_stack.hpp"
 #include "tls/session.hpp"
@@ -195,6 +197,19 @@ TrialResult run_trial(const TrialConfig& cfg) {
   // The adversary at the gateway.
   attack::AttackPipeline pipeline(loop, path.middlebox(), cfg.attack, rng_attack);
 
+  // Wire capture attaches after the pipeline (whose set_tap replaces all
+  // middlebox taps); both observers see every gateway packet identically.
+  std::unique_ptr<capture::CaptureSession> capture_session;
+  if (!cfg.capture.path.empty()) {
+    capture::CaptureConfig ccfg;
+    ccfg.path = cfg.capture.path;
+    ccfg.client_vantage = cfg.capture.client_vantage;
+    ccfg.gateway_vantage = cfg.capture.gateway_vantage;
+    ccfg.server_vantage = cfg.capture.server_vantage;
+    capture_session = std::make_unique<capture::CaptureSession>(loop, path,
+                                                                std::move(ccfg));
+  }
+
   // Client: TCP connect -> TLS -> HTTP/2 -> browser.
   tcp::TcpConnection& client_tcp = client_stack.connect(net::Path::kServerNode, 443);
   tls::TlsSession client_tls(client_tcp, tls::TlsSession::Role::kClient);
@@ -203,6 +218,11 @@ TrialResult run_trial(const TrialConfig& cfg) {
   browser.start();
 
   loop.run(sim::TimePoint::origin() + cfg.sim_limit);
+
+  if (capture_session && !capture_session->close()) {
+    sim::logf(sim::LogLevel::kWarn, loop.now(), "capture",
+              "failed to write %s", cfg.capture.path.c_str());
+  }
 
   if (cfg.wire_log_inspector) cfg.wire_log_inspector(wire_log);
   if (cfg.trace_inspector) cfg.trace_inspector(pipeline.trace());
@@ -229,6 +249,8 @@ TrialResult run_trial(const TrialConfig& cfg) {
   r.records_observed =
       static_cast<std::size_t>(reg.counter_value("attack.records_observed"));
   r.gets_counted = static_cast<int>(reg.counter_value("attack.gets_counted"));
+  r.capture_packets = reg.counter_value("capture.packets");
+  r.capture_bytes_written = reg.counter_value("capture.bytes_written");
 
   // Allocation accounting, exported both on the TrialResult (for the bench
   // perf record) and as registry counters (so metric snapshots and the

@@ -42,6 +42,18 @@ struct TrialConfig {
   };
   DefenseOptions defense;
 
+  /// Wire capture (src/capture): when `path` is non-empty the trial exports
+  /// every packet at the enabled vantage points as a PCAPNG file. Capture is
+  /// observation-only — the TrialResult is identical with it on or off,
+  /// except for the capture_* counters.
+  struct CaptureOptions {
+    std::string path;  // empty = capture off
+    bool client_vantage = false;
+    bool gateway_vantage = true;
+    bool server_vantage = false;
+  };
+  CaptureOptions capture;
+
   /// Diagnostic hook: invoked with the ground-truth wire log after the run.
   std::function<void(const analysis::WireLog&)> wire_log_inspector;
   /// Diagnostic hook: invoked with the adversary's observed record trace.
@@ -116,6 +128,12 @@ struct TrialResult {
   std::size_t records_observed = 0;
   int gets_counted = 0;
   double page_load_seconds = 0.0;
+
+  /// Wire-capture accounting (0 when capture is off): packets exported and
+  /// pcapng bytes produced. Pure functions of the config like every other
+  /// field, so captures participate in the determinism comparison.
+  std::uint64_t capture_packets = 0;
+  std::uint64_t capture_bytes_written = 0;
 
   /// Perf accounting for the benchmark-regression gate: total events the
   /// trial's loop executed, packets the middlebox forwarded, and heap

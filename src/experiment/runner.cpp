@@ -8,6 +8,32 @@
 
 namespace h2sim::experiment {
 
+std::string expand_capture_path(const std::string& pattern, std::size_t index,
+                                std::uint64_t seed, std::size_t total) {
+  std::string out = pattern;
+  bool substituted = false;
+  auto replace_all = [&](const std::string& key, const std::string& value) {
+    for (std::size_t pos = out.find(key); pos != std::string::npos;
+         pos = out.find(key, pos + value.size())) {
+      out.replace(pos, key.size(), value);
+      substituted = true;
+    }
+  };
+  replace_all("{index}", std::to_string(index));
+  replace_all("{seed}", std::to_string(seed));
+  if (!substituted && total > 1) {
+    const std::size_t slash = out.find_last_of('/');
+    const std::size_t dot = out.find_last_of('.');
+    const std::string suffix = "_" + std::to_string(index);
+    if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+      out.insert(dot, suffix);
+    } else {
+      out += suffix;
+    }
+  }
+  return out;
+}
+
 int resolve_jobs(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("H2SIM_JOBS")) {
@@ -53,7 +79,14 @@ std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
       ctx.tracer.set_mask(opts.trace_mask);
       {
         obs::ScopedContext scope(ctx);
-        results[i] = run_trial(cfgs[i]);
+        if (opts.capture_path.empty()) {
+          results[i] = run_trial(cfgs[i]);
+        } else {
+          TrialConfig cfg = cfgs[i];
+          cfg.capture.path =
+              expand_capture_path(opts.capture_path, i, cfg.seed, total);
+          results[i] = run_trial(cfg);
+        }
       }
       if (opts.context_inspector) opts.context_inspector(i, ctx);
       const std::size_t now_done =

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "experiment/harness.hpp"
@@ -40,7 +41,20 @@ struct RunOptions {
   /// Different indices may run concurrently: the callback must only touch
   /// per-index state unless it synchronizes.
   std::function<void(std::size_t index, const obs::Context&)> context_inspector;
+
+  /// When non-empty, every trial runs with wire capture enabled and writes a
+  /// PCAPNG file to this path, with "{index}" / "{seed}" placeholders
+  /// substituted per trial (e.g. "caps/trial_{seed}.pcapng"). A pattern
+  /// without either placeholder gets "_<index>" inserted before its
+  /// extension when the sweep has more than one trial, so concurrent trials
+  /// never write the same file. Vantage-point flags come from each config's
+  /// TrialConfig::capture; its path field is overwritten.
+  std::string capture_path;
 };
+
+/// Expands a capture_path pattern for one trial (exposed for tests).
+std::string expand_capture_path(const std::string& pattern, std::size_t index,
+                                std::uint64_t seed, std::size_t total);
 
 /// Resolves an effective worker count from `requested` using the RunOptions
 /// rules above (without the trial-count clamp).

@@ -20,6 +20,7 @@ Link::Link(sim::EventLoop& loop, Config cfg, std::string name)
 }
 
 void Link::send(Packet&& p) {
+  if (send_tap_) send_tap_(p, loop_.now());
   if (cfg_.loss_rate > 0 && loss_rng_.bernoulli(cfg_.loss_rate)) {
     ++stats_.random_losses;
     metrics_.random_losses.inc();
@@ -83,6 +84,7 @@ void Link::try_transmit() {
     metrics_.delivered.inc();
     loop_.schedule_after(prop, [this, p = std::move(p)]() mutable {
       assert(sink_ && "link sink not attached");
+      if (deliver_tap_) deliver_tap_(p, loop_.now());
       sink_(std::move(p));
     });
     try_transmit();

@@ -45,6 +45,18 @@ class Link {
   /// Downstream receiver; must be set before the first send().
   void set_sink(std::function<void(Packet&&)> sink) { sink_ = std::move(sink); }
 
+  /// Observation-only hooks for wire capture (src/capture). The send tap
+  /// fires at the top of send() — every packet the upstream endpoint hands
+  /// to the wire, before loss/queue admission, like tcpdump on the sending
+  /// host's NIC. The deliver tap fires right before the sink — what the
+  /// receiving host's NIC sees. Both default unset and cost one branch.
+  void set_send_tap(std::function<void(const Packet&, sim::TimePoint)> tap) {
+    send_tap_ = std::move(tap);
+  }
+  void set_deliver_tap(std::function<void(const Packet&, sim::TimePoint)> tap) {
+    deliver_tap_ = std::move(tap);
+  }
+
   /// Enqueues a packet for transmission; drops when the queue is full.
   void send(Packet&& p);
 
@@ -63,6 +75,8 @@ class Link {
   Config cfg_;
   std::string name_;
   std::function<void(Packet&&)> sink_;
+  std::function<void(const Packet&, sim::TimePoint)> send_tap_;
+  std::function<void(const Packet&, sim::TimePoint)> deliver_tap_;
 
   sim::RingQueue<Packet> queue_;
   std::size_t queued_bytes_ = 0;

@@ -44,7 +44,7 @@ void Middlebox::set_rate_limit(double rate_bps) {
 
 void Middlebox::process(Packet&& p, Direction dir) {
   const sim::TimePoint now = loop_.now();
-  if (tap_) tap_(p, dir, now);
+  for (const Tap& tap : taps_) tap(p, dir, now);
 
   Decision d = policy_ ? policy_->on_packet(p, dir, now) : Decision::forward();
   auto& tr = obs::tracer();

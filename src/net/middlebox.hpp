@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 // std::optional is used for RateLimiter::admit's drop signalling.
 
 #include "net/packet.hpp"
@@ -101,11 +102,20 @@ class Middlebox {
   /// Non-owning; pass nullptr to remove. The policy must outlive the run.
   void set_policy(PacketPolicy* policy) { policy_ = policy; }
 
+  using Tap = std::function<void(const Packet&, Direction, sim::TimePoint)>;
+
   /// Observation-only hook (the traffic monitor). Sees every packet on
-  /// arrival, before any policy action.
-  void set_tap(std::function<void(const Packet&, Direction, sim::TimePoint)> tap) {
-    tap_ = std::move(tap);
+  /// arrival, before any policy action. Replaces all previously installed
+  /// taps (the historical single-tap semantics).
+  void set_tap(Tap tap) {
+    taps_.clear();
+    taps_.push_back(std::move(tap));
   }
+
+  /// Installs an additional tap alongside any existing ones; taps run in
+  /// installation order. Wire capture attaches here so the adversary's
+  /// monitor and a pcap writer can observe the same gateway concurrently.
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
 
   /// Enables/disables throttling. rate_bps <= 0 disables. Applied to both
   /// directions independently (the paper limits incoming and outgoing).
@@ -121,7 +131,7 @@ class Middlebox {
   std::function<void(Packet&&)> to_server_;
   std::function<void(Packet&&)> to_client_;
   PacketPolicy* policy_ = nullptr;
-  std::function<void(const Packet&, Direction, sim::TimePoint)> tap_;
+  std::vector<Tap> taps_;
   std::optional<RateLimiter> limiter_c2s_;
   std::optional<RateLimiter> limiter_s2c_;
   Stats stats_;

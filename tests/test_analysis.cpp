@@ -149,6 +149,49 @@ TEST(Boundary, EmptyTraceYieldsNothing) {
   EXPECT_TRUE(detect_objects(trace).empty());
 }
 
+TEST(Boundary, ZeroLengthObjectIsInvisibleAndDoesNotCorruptNeighbors) {
+  // A zero-length object (204/304-style response) puts only a small HEADERS
+  // record on the wire — control-sized, below min_body_record. It must
+  // neither appear as a detection nor split or inflate its neighbors.
+  PacketTrace trace;
+  for (int i = 0; i < 3; ++i) trace.add(rec(i, 1049));
+  trace.add(rec(3, 500));   // object A tail
+  trace.add(rec(3.5, 45));  // the empty object's HEADERS-only response
+  for (int i = 0; i < 2; ++i) trace.add(rec(4 + i, 1049));
+  trace.add(rec(6, 300));  // object B tail
+  const auto objs = detect_objects(trace);
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0].size_estimate, 3 * 1024 + 475u);
+  EXPECT_EQ(objs[1].size_estimate, 2 * 1024 + 275u);
+}
+
+TEST(Boundary, SingleRecordObjectIsItsOwnDelimiter) {
+  // An object small enough for one sub-full record: the record both carries
+  // the body and delimits it (Figure 1's degenerate case).
+  PacketTrace trace;
+  trace.add(rec(0, 1049));
+  trace.add(rec(1, 1049));
+  trace.add(rec(2, 700));  // object A tail
+  trace.add(rec(3, 400));  // object B: single record
+  trace.add(rec(4, 1049));
+  trace.add(rec(5, 200));  // object C tail
+  const auto objs = detect_objects(trace);
+  ASSERT_EQ(objs.size(), 3u);
+  EXPECT_EQ(objs[1].records, 1u);
+  EXPECT_EQ(objs[1].size_estimate, 375u);
+  EXPECT_TRUE(objs[1].ended_by_delimiter);
+  EXPECT_EQ(objs[1].start, objs[1].end);
+}
+
+TEST(Boundary, TraceOfOneRecordYieldsOneObject) {
+  PacketTrace trace;
+  trace.add(rec(0, 400));
+  const auto objs = detect_objects(trace);
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].records, 1u);
+  EXPECT_EQ(objs[0].size_estimate, 375u);
+}
+
 // --- Predictor ---
 
 TEST(Predictor, IdentifiesWithinTolerance) {

@@ -1,0 +1,529 @@
+// The wire-capture subsystem: pcapng serialization round trips, synthetic
+// Ethernet/IPv4/TCP framing, TCP/TLS reassembly edge cases, and the
+// subsystem's two headline guarantees — (1) export → reingest reproduces
+// the live trial's adversary view exactly (32-seed round-trip identity),
+// and (2) capture is purely observational: a captured trial's TrialResult
+// is bit-identical to an uncaptured one apart from the capture counters.
+// Also validates the committed golden corpus against the live simulator.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/boundary.hpp"
+#include "analysis/predictor.hpp"
+#include "analysis/trace.hpp"
+#include "capture/frame.hpp"
+#include "capture/pcapng.hpp"
+#include "capture/reader.hpp"
+#include "experiment/runner.hpp"
+#include "obs/context.hpp"
+#include "web/website.hpp"
+
+#ifndef H2SIM_GOLDEN_DIR
+#error "H2SIM_GOLDEN_DIR must point at the committed golden corpus"
+#endif
+
+namespace h2sim::capture {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique per-test scratch directory, removed on scope exit.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : dir_(fs::temp_directory_path() /
+             ("h2sim_capture_" + tag + "_" +
+              std::to_string(static_cast<unsigned>(::getpid())))) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~ScratchDir() { fs::remove_all(dir_); }
+  fs::path operator/(const std::string& name) const { return dir_ / name; }
+
+ private:
+  fs::path dir_;
+};
+
+// --- PcapngWriter / PcapngReader ---
+
+TEST(Pcapng, WriterReaderRoundTrip) {
+  ScratchDir dir("pcapng");
+  const std::string path = (dir / "rt.pcapng").string();
+
+  PcapngWriter writer(path);
+  const std::uint32_t gw = writer.add_interface("gateway", "middlebox vantage");
+  const std::uint32_t cl = writer.add_interface("client", "victim vantage");
+  EXPECT_EQ(gw, 0u);
+  EXPECT_EQ(cl, 1u);
+
+  const std::vector<std::uint8_t> a = {0xde, 0xad, 0xbe, 0xef};
+  const std::vector<std::uint8_t> b = {0x01};  // exercises padding to 4 bytes
+  // > 2^32 ns exercises the EPB high/low timestamp split.
+  writer.write_packet(gw, 5'000'000'000LL, a);
+  writer.write_packet(cl, 5'000'000'123LL, b);
+  EXPECT_EQ(writer.packets_written(), 2u);
+  EXPECT_GT(writer.bytes_buffered(), 0u);
+  ASSERT_TRUE(writer.close());
+
+  PcapngReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.open(path, &error)) << error;
+  ASSERT_EQ(reader.interfaces().size(), 2u);
+  EXPECT_EQ(reader.interfaces()[0].name, "gateway");
+  EXPECT_EQ(reader.interfaces()[1].name, "client");
+  EXPECT_EQ(reader.interfaces()[0].linktype, kLinktypeEthernet);
+  EXPECT_EQ(reader.interfaces()[0].tsresol_exp, 9);  // nanoseconds
+  ASSERT_EQ(reader.packets().size(), 2u);
+  EXPECT_EQ(reader.packets()[0].iface, gw);
+  EXPECT_EQ(reader.packets()[0].ts_nanos, 5'000'000'000LL);
+  EXPECT_EQ(reader.packets()[0].frame, a);
+  EXPECT_EQ(reader.packets()[1].iface, cl);
+  EXPECT_EQ(reader.packets()[1].ts_nanos, 5'000'000'123LL);
+  EXPECT_EQ(reader.packets()[1].frame, b);
+}
+
+TEST(Pcapng, ReaderRejectsMissingAndMalformedFiles) {
+  PcapngReader reader;
+  std::string error;
+  EXPECT_FALSE(reader.open("/nonexistent/nope.pcapng", &error));
+  EXPECT_FALSE(error.empty());
+
+  ScratchDir dir("pcapng_bad");
+  const std::string path = (dir / "bad.pcapng").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "this is not a pcapng file at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  error.clear();
+  EXPECT_FALSE(reader.open(path, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- Synthetic framing ---
+
+net::Packet sample_packet() {
+  net::Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.tcp.src_port = 54321;
+  p.tcp.dst_port = 443;
+  p.tcp.seq = 0xCAFEBABE;
+  p.tcp.ack = 0x12345678;
+  p.tcp.flags = net::tcpflag::kAck;
+  p.tcp.wnd = 65535;
+  for (int i = 0; i < 100; ++i) p.payload.push_back(static_cast<std::uint8_t>(i));
+  return p;
+}
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  const net::Packet p = sample_packet();
+  std::vector<std::uint8_t> frame;
+  encode_frame(p, frame);
+  ASSERT_EQ(frame.size(), kFrameOverheadBytes + p.payload.size());
+
+  net::Packet out;
+  std::string error;
+  ASSERT_TRUE(decode_frame(frame, &out, &error)) << error;
+  EXPECT_EQ(out.src, p.src);
+  EXPECT_EQ(out.dst, p.dst);
+  EXPECT_EQ(out.tcp.src_port, p.tcp.src_port);
+  EXPECT_EQ(out.tcp.dst_port, p.tcp.dst_port);
+  EXPECT_EQ(out.tcp.seq, p.tcp.seq);
+  EXPECT_EQ(out.tcp.ack, p.tcp.ack);
+  EXPECT_EQ(out.tcp.flags, p.tcp.flags);
+  EXPECT_EQ(out.tcp.wnd, p.tcp.wnd);
+  EXPECT_EQ(out.payload, p.payload);
+}
+
+TEST(Frame, AllTcpFlagsSurviveTheWireTranslation) {
+  for (std::uint8_t flags :
+       {net::tcpflag::kSyn, net::tcpflag::kAck, net::tcpflag::kFin,
+        net::tcpflag::kRst,
+        static_cast<std::uint8_t>(net::tcpflag::kSyn | net::tcpflag::kAck),
+        static_cast<std::uint8_t>(net::tcpflag::kFin | net::tcpflag::kAck)}) {
+    net::Packet p = sample_packet();
+    p.tcp.flags = flags;
+    p.payload.clear();
+    std::vector<std::uint8_t> frame;
+    encode_frame(p, frame);
+    net::Packet out;
+    ASSERT_TRUE(decode_frame(frame, &out, nullptr));
+    EXPECT_EQ(out.tcp.flags, flags) << "flags " << static_cast<int>(flags);
+  }
+}
+
+TEST(Frame, ChecksumsValidateLikeADissectorWould) {
+  const net::Packet p = sample_packet();
+  std::vector<std::uint8_t> frame;
+  encode_frame(p, frame);
+
+  // RFC 1071: the checksum of a header that includes its own (correct)
+  // checksum field is 0 — exactly the verification a dissector performs.
+  const std::span<const std::uint8_t> ip(frame.data() + kEthernetHeaderBytes,
+                                         kIpv4HeaderBytes);
+  EXPECT_EQ(inet_checksum(ip), 0);
+
+  // TCP checksum over pseudo-header + segment must also validate.
+  const std::size_t seg_len = kTcpHeaderBytes + p.payload.size();
+  std::vector<std::uint8_t> pseudo;
+  pseudo.insert(pseudo.end(), frame.begin() + kEthernetHeaderBytes + 12,
+                frame.begin() + kEthernetHeaderBytes + 20);  // src+dst IP
+  pseudo.push_back(0);
+  pseudo.push_back(6);  // protocol TCP
+  pseudo.push_back(static_cast<std::uint8_t>(seg_len >> 8));
+  pseudo.push_back(static_cast<std::uint8_t>(seg_len & 0xFF));
+  pseudo.insert(pseudo.end(),
+                frame.begin() + kEthernetHeaderBytes + kIpv4HeaderBytes,
+                frame.end());
+  EXPECT_EQ(inet_checksum(pseudo), 0);
+}
+
+TEST(Frame, DecodeRejectsNonIpv4TcpFrames) {
+  net::Packet out;
+  std::string error;
+
+  // Too short for Ethernet.
+  EXPECT_FALSE(decode_frame(std::vector<std::uint8_t>(5), &out, &error));
+
+  // Valid frame, ethertype rewritten to ARP.
+  std::vector<std::uint8_t> frame;
+  encode_frame(sample_packet(), frame);
+  frame[12] = 0x08;
+  frame[13] = 0x06;
+  EXPECT_FALSE(decode_frame(frame, &out, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Valid frame, IP protocol rewritten to UDP.
+  frame.clear();
+  encode_frame(sample_packet(), frame);
+  frame[kEthernetHeaderBytes + 9] = 17;
+  EXPECT_FALSE(decode_frame(frame, &out, nullptr));
+}
+
+TEST(Frame, DecodeToleratesEthernetPadding) {
+  // Minimum Ethernet frames are zero-padded to 60 bytes by real NICs; the
+  // IP total-length field, not the frame length, must delimit the payload.
+  net::Packet p = sample_packet();
+  p.payload = {0xAA, 0xBB};
+  std::vector<std::uint8_t> frame;
+  encode_frame(p, frame);
+  frame.resize(60, 0);
+  net::Packet out;
+  ASSERT_TRUE(decode_frame(frame, &out, nullptr));
+  EXPECT_EQ(out.payload, p.payload);
+}
+
+// --- TlsRecordReassembler edge cases ---
+
+/// 5-byte TLS record header + body.
+std::vector<std::uint8_t> tls_record(std::uint8_t type, std::size_t body_len) {
+  std::vector<std::uint8_t> out = {
+      type, 0x03, 0x03, static_cast<std::uint8_t>(body_len >> 8),
+      static_cast<std::uint8_t>(body_len & 0xFF)};
+  out.resize(out.size() + body_len, 0x5A);
+  return out;
+}
+
+CapturedPacket s2c_packet(std::uint32_t seq, std::vector<std::uint8_t> payload,
+                          double t_ms, std::uint8_t flags = net::tcpflag::kAck) {
+  CapturedPacket cp;
+  cp.time = sim::TimePoint::from_nanos(static_cast<std::int64_t>(t_ms * 1e6));
+  cp.packet.src = 2;
+  cp.packet.dst = 1;
+  cp.packet.tcp.src_port = 443;  // from the server => server->client
+  cp.packet.tcp.dst_port = 50000;
+  cp.packet.tcp.seq = seq;
+  cp.packet.tcp.flags = flags;
+  cp.packet.payload = std::move(payload);
+  return cp;
+}
+
+/// A reassembler whose server->client stream is already SYN-synced at `isn`.
+TlsRecordReassembler synced_reassembler(std::uint32_t isn) {
+  TlsRecordReassembler r;
+  r.feed(s2c_packet(isn, {}, 0.0, net::tcpflag::kSyn | net::tcpflag::kAck));
+  return r;
+}
+
+TEST(Reassembler, RecordSplitAcrossPacketsReassembles) {
+  TlsRecordReassembler r = synced_reassembler(1000);
+  const auto rec = tls_record(23, 400);
+  // Split mid-header and mid-body: 3 + 200 + rest.
+  std::vector<std::uint8_t> p1(rec.begin(), rec.begin() + 3);
+  std::vector<std::uint8_t> p2(rec.begin() + 3, rec.begin() + 203);
+  std::vector<std::uint8_t> p3(rec.begin() + 203, rec.end());
+  r.feed(s2c_packet(1001, p1, 1.0));
+  r.feed(s2c_packet(1004, p2, 2.0));
+  EXPECT_TRUE(r.trace().records().empty());  // still incomplete
+  r.feed(s2c_packet(1204, p3, 3.0));
+  ASSERT_EQ(r.trace().records().size(), 1u);
+  const analysis::RecordObs& obs = r.trace().records()[0];
+  EXPECT_EQ(obs.body_len, 400u);
+  EXPECT_EQ(obs.dir, net::Direction::kServerToClient);
+  // Attributed to the packet that completed the record.
+  EXPECT_EQ(obs.time, sim::TimePoint::from_nanos(3'000'000));
+}
+
+TEST(Reassembler, TwoRecordsCoalescedInOnePacketBothEmerge) {
+  TlsRecordReassembler r = synced_reassembler(2000);
+  std::vector<std::uint8_t> payload = tls_record(23, 100);
+  const auto second = tls_record(23, 200);
+  payload.insert(payload.end(), second.begin(), second.end());
+  r.feed(s2c_packet(2001, payload, 5.0));
+  ASSERT_EQ(r.trace().records().size(), 2u);
+  EXPECT_EQ(r.trace().records()[0].body_len, 100u);
+  EXPECT_EQ(r.trace().records()[1].body_len, 200u);
+  EXPECT_EQ(r.trace().records()[0].time, r.trace().records()[1].time);
+}
+
+TEST(Reassembler, OutOfOrderPacketsReorderBySequence) {
+  TlsRecordReassembler r = synced_reassembler(3000);
+  const auto rec = tls_record(23, 300);
+  std::vector<std::uint8_t> p1(rec.begin(), rec.begin() + 100);
+  std::vector<std::uint8_t> p2(rec.begin() + 100, rec.end());
+  r.feed(s2c_packet(3101, p2, 1.0));  // arrives first
+  EXPECT_TRUE(r.trace().records().empty());
+  r.feed(s2c_packet(3001, p1, 2.0));  // the gap filler
+  ASSERT_EQ(r.trace().records().size(), 1u);
+  EXPECT_EQ(r.trace().records()[0].body_len, 300u);
+}
+
+TEST(Reassembler, DuplicatePacketsDedupeBySequence) {
+  TlsRecordReassembler r = synced_reassembler(4000);
+  const auto rec = tls_record(23, 150);
+  const std::vector<std::uint8_t> payload(rec.begin(), rec.end());
+  r.feed(s2c_packet(4001, payload, 1.0));
+  r.feed(s2c_packet(4001, payload, 2.0));  // full retransmission
+  ASSERT_EQ(r.trace().records().size(), 1u);
+
+  // Overlapping retransmission: old bytes + one fresh record appended.
+  std::vector<std::uint8_t> overlap(rec.begin() + 100, rec.end());
+  const auto fresh = tls_record(23, 80);
+  overlap.insert(overlap.end(), fresh.begin(), fresh.end());
+  r.feed(s2c_packet(4101, overlap, 3.0));
+  ASSERT_EQ(r.trace().records().size(), 2u);
+  EXPECT_EQ(r.trace().records()[1].body_len, 80u);
+}
+
+TEST(Reassembler, DirectionComesFromTheServerPort) {
+  ReassemblerConfig cfg;
+  cfg.server_port = 8443;
+  TlsRecordReassembler r(cfg);
+  net::Packet p;
+  p.tcp.dst_port = 8443;
+  EXPECT_EQ(r.direction_of(p), net::Direction::kClientToServer);
+  p.tcp.dst_port = 50000;
+  EXPECT_EQ(r.direction_of(p), net::Direction::kServerToClient);
+}
+
+// --- expand_capture_path ---
+
+TEST(CapturePath, PlaceholderSubstitutionAndCollisionAvoidance) {
+  using experiment::expand_capture_path;
+  EXPECT_EQ(expand_capture_path("caps/trial_{seed}.pcapng", 3, 42, 10),
+            "caps/trial_42.pcapng");
+  EXPECT_EQ(expand_capture_path("{index}_{seed}.pcapng", 3, 42, 10),
+            "3_42.pcapng");
+  // No placeholder + multi-trial sweep: index inserted before the extension
+  // so concurrent trials never write the same file.
+  EXPECT_EQ(expand_capture_path("caps/out.pcapng", 3, 42, 10),
+            "caps/out_3.pcapng");
+  EXPECT_EQ(expand_capture_path("caps/out", 3, 42, 10), "caps/out_3");
+  // The dot in a directory name is not an extension.
+  EXPECT_EQ(expand_capture_path("caps.d/out", 3, 42, 10), "caps.d/out_3");
+  // Single trial: pattern used verbatim.
+  EXPECT_EQ(expand_capture_path("caps/out.pcapng", 0, 42, 1),
+            "caps/out.pcapng");
+}
+
+// --- Round-trip identity over 32 seeds (the acceptance criterion) ---
+
+experiment::TrialConfig small_site(experiment::TrialConfig cfg) {
+  cfg.site.pre_objects = 2;
+  cfg.site.filler_objects = 8;
+  cfg.site.head_fillers = 3;
+  return cfg;
+}
+
+analysis::SizeIdentityDb default_emblem_db() {
+  const web::Website site = web::make_isidewith_site();
+  analysis::SizeIdentityDb db;
+  for (int k = 0; k < 8; ++k) {
+    db.add("party" + std::to_string(k),
+           site.find(site.emblem_paths[static_cast<std::size_t>(k)])->size);
+  }
+  return db;
+}
+
+TEST(RoundTrip, ThirtyTwoSeedsReproduceTheLiveAdversaryView) {
+  constexpr std::size_t kTrials = 32;
+  ScratchDir dir("roundtrip");
+
+  std::vector<analysis::PacketTrace> live(kTrials);
+  std::vector<experiment::TrialConfig> cfgs;
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    experiment::TrialConfig cfg;
+    cfg.seed = 100 + i;
+    if (i < 16) {
+      cfg.attack = experiment::full_attack_config();
+    } else {
+      cfg = small_site(std::move(cfg));  // attack off, multiplexed baseline
+    }
+    cfg.trace_inspector = [&live, i](const analysis::PacketTrace& t) {
+      live[i] = t;  // per-trial slot: safe from concurrent inspectors
+    };
+    cfgs.push_back(std::move(cfg));
+  }
+
+  experiment::RunOptions opts;
+  opts.capture_path = (dir / "trial_{index}.pcapng").string();
+  const std::vector<experiment::TrialResult> results =
+      experiment::run_trials(cfgs, opts);
+  ASSERT_EQ(results.size(), kTrials);
+
+  const analysis::SizeIdentityDb emblem_db = default_emblem_db();
+  for (std::size_t i = 0; i < kTrials; ++i) {
+    const std::string path =
+        (dir / ("trial_" + std::to_string(i) + ".pcapng")).string();
+
+    PcapReader reader;
+    std::string error;
+    ASSERT_TRUE(reader.open(path, &error)) << "trial " << i << ": " << error;
+    EXPECT_EQ(reader.skipped_frames(), 0u) << "trial " << i;
+
+    const auto gw = reader.find_interface("gateway");
+    ASSERT_TRUE(gw.has_value()) << "trial " << i;
+    const auto packets = reader.packets_on(*gw);
+    EXPECT_EQ(packets.size(), results[i].capture_packets) << "trial " << i;
+    EXPECT_EQ(fs::file_size(path), results[i].capture_bytes_written)
+        << "trial " << i;
+
+    // (1) Record-for-record identity with the live gateway monitor.
+    TlsRecordReassembler reassembler;
+    reassembler.feed_all(std::span<const CapturedPacket* const>(packets));
+    ASSERT_EQ(reassembler.trace().records().size(), live[i].records().size())
+        << "trial " << i;
+    EXPECT_TRUE(reassembler.trace().records() == live[i].records())
+        << "record stream diverged at trial " << i;
+    EXPECT_EQ(static_cast<std::size_t>(reassembler.get_count()),
+              static_cast<std::size_t>(results[i].gets_counted))
+        << "trial " << i;
+
+    // (2) The offline pipeline reaches the live trial's verdicts.
+    if (i < 16) {
+      const auto detections = analysis::detect_objects(reassembler.trace());
+      const auto pred = analysis::predict_sequence(detections, emblem_db);
+      EXPECT_EQ(pred.ranking, results[i].predicted)
+          << "offline prediction diverged at trial " << i;
+    }
+  }
+}
+
+TEST(RoundTrip, CaptureIsPurelyObservational) {
+  ScratchDir dir("observational");
+  for (const bool attack_on : {true, false}) {
+    experiment::TrialConfig off_cfg;
+    off_cfg.seed = 77;
+    if (attack_on) off_cfg.attack = experiment::full_attack_config();
+    else off_cfg = small_site(std::move(off_cfg));
+
+    experiment::TrialConfig on_cfg = off_cfg;
+    on_cfg.capture.path =
+        (dir / (attack_on ? "on.pcapng" : "off.pcapng")).string();
+    on_cfg.capture.client_vantage = true;
+    on_cfg.capture.gateway_vantage = true;
+    on_cfg.capture.server_vantage = true;
+
+    const experiment::TrialResult without = experiment::run_trial(off_cfg);
+    experiment::TrialResult with = experiment::run_trial(on_cfg);
+
+    EXPECT_GT(with.capture_packets, 0u);
+    EXPECT_GT(with.capture_bytes_written, 0u);
+    EXPECT_EQ(without.capture_packets, 0u);
+    EXPECT_EQ(without.capture_bytes_written, 0u);
+    // Every other field — timings, retransmits, verdicts, hot-path alloc
+    // counts — must be bit-identical: the taps observe, never perturb.
+    with.capture_packets = 0;
+    with.capture_bytes_written = 0;
+    EXPECT_EQ(with, without) << (attack_on ? "full attack" : "baseline");
+  }
+}
+
+// --- Golden corpus ---
+
+TEST(Golden, Table2CaptureReproducesTheLiveSeed7Attack) {
+  PcapReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.open(std::string(H2SIM_GOLDEN_DIR) + "/table2_seed7.pcapng",
+                          &error))
+      << error;
+  EXPECT_EQ(reader.skipped_frames(), 0u);
+  const auto gw = reader.find_interface("gateway");
+  ASSERT_TRUE(gw.has_value());
+
+  // The live trial the golden file was exported from.
+  experiment::TrialConfig cfg;
+  cfg.seed = 7;
+  cfg.attack = experiment::full_attack_config();
+  analysis::PacketTrace live;
+  cfg.trace_inspector = [&live](const analysis::PacketTrace& t) { live = t; };
+  const experiment::TrialResult r = experiment::run_trial(cfg);
+
+  TlsRecordReassembler reassembler;
+  reassembler.feed_all(
+      std::span<const CapturedPacket* const>(reader.packets_on(*gw)));
+  ASSERT_EQ(reassembler.trace().records().size(), live.records().size());
+  EXPECT_TRUE(reassembler.trace().records() == live.records())
+      << "golden capture no longer matches the live simulator";
+
+  // Offline analysis of the committed file recovers the full Table-2
+  // ranking: all 8 emblems, in the order the victim's answers produced.
+  const auto detections = analysis::detect_objects(reassembler.trace());
+  const auto pred = analysis::predict_sequence(detections, default_emblem_db());
+  ASSERT_EQ(pred.ranking.size(), 8u);
+  EXPECT_EQ(pred.ranking, r.predicted);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_EQ(pred.ranking[static_cast<std::size_t>(j)],
+              "party" + std::to_string(r.truth[static_cast<std::size_t>(j)]))
+        << "position " << j;
+  }
+}
+
+TEST(Golden, BaselineCaptureIngestsButDefeatsTheBoundaryDetector) {
+  PcapReader reader;
+  std::string error;
+  ASSERT_TRUE(reader.open(
+      std::string(H2SIM_GOLDEN_DIR) + "/baseline_small_seed1.pcapng", &error))
+      << error;
+  EXPECT_EQ(reader.skipped_frames(), 0u);
+  const auto gw = reader.find_interface("gateway");
+  ASSERT_TRUE(gw.has_value());
+
+  TlsRecordReassembler reassembler;
+  reassembler.feed_all(
+      std::span<const CapturedPacket* const>(reader.packets_on(*gw)));
+  EXPECT_GT(reassembler.trace().records().size(), 0u);
+  EXPECT_GT(reassembler.get_count(), 0);
+
+  // Without the attack the transfer is multiplexed, and size-based
+  // identification cannot recover the full ranking — the paper's premise.
+  const auto detections = analysis::detect_objects(reassembler.trace());
+  const auto pred = analysis::predict_sequence(detections, default_emblem_db());
+  std::size_t identified = 0;
+  for (const std::string& label : pred.ranking) {
+    if (!label.empty()) ++identified;
+  }
+  EXPECT_LT(identified, 8u);
+}
+
+}  // namespace
+}  // namespace h2sim::capture
