@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "h2/frame.hpp"
 #include "hpack/decoder.hpp"
@@ -189,6 +190,113 @@ void BM_EventLoopSteadyState(benchmark::State& state) {
       static_cast<double>(state.iterations() * kEvents));
 }
 BENCHMARK(BM_EventLoopSteadyState);
+
+// Timing-wheel schedule/dispatch with the horizon mix a trial produces:
+// mostly sub-millisecond deliveries, a sprinkling of ~200 ms RTO-scale
+// timers, and the occasional multi-second idle timeout, forcing events onto
+// three different wheel levels. Steady-state must be allocation-free (the
+// slab, near-heap, and buckets all warm during the first round).
+void BM_WheelSchedule(benchmark::State& state) {
+  sim::EventLoop loop;
+  constexpr int kEvents = 1024;
+  int fired = 0;
+  const auto push_round = [&] {
+    for (int i = 0; i < kEvents; ++i) {
+      sim::Duration d = sim::Duration::micros(37 * (i % 19));
+      if (i % 61 == 0) d = sim::Duration::millis(200 + i % 7);
+      if (i % 257 == 0) d = sim::Duration::seconds(2);
+      loop.schedule_after(d, [&fired] { ++fired; });
+    }
+    loop.run();
+  };
+  push_round();  // warm slab, buckets, and near-heap capacity
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    push_round();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_WheelSchedule);
+
+// The RTO rearm pattern TCP drives constantly: schedule a far-out timer,
+// cancel or reschedule it before it fires, repeat. Wheel-resident cancels
+// unlink in O(1) and recycle the slot immediately, so the churn must not
+// touch the heap at steady state and must never leave tombstones behind.
+void BM_WheelCancelChurn(benchmark::State& state) {
+  sim::EventLoop loop;
+  constexpr int kTimers = 256;
+  int fired = 0;
+  std::vector<sim::TimerHandle> handles(kTimers);
+  const auto churn_round = [&] {
+    for (int i = 0; i < kTimers; ++i) {
+      handles[static_cast<std::size_t>(i)] = loop.schedule_after(
+          sim::Duration::millis(200 + i % 50), [&fired] { ++fired; });
+    }
+    for (int i = 0; i < kTimers; ++i) {
+      if (!loop.reschedule_after(handles[static_cast<std::size_t>(i)],
+                                 sim::Duration::millis(100 + i % 50))) {
+        std::abort();  // wheel-resident rearm must always succeed here
+      }
+    }
+    for (sim::TimerHandle& h : handles) h.cancel();
+    // Drive one dispatch so the loop advances even though everything was
+    // cancelled; schedule one live event to run to.
+    loop.schedule_after(sim::Duration::micros(10), [&fired] { ++fired; });
+    loop.run();
+  };
+  churn_round();
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    churn_round();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kTimers);
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * kTimers));
+}
+BENCHMARK(BM_WheelCancelChurn);
+
+// Many events at one instant: they share a granule, so a single refill
+// drains the whole bucket into the near-heap and the FIFO (at, seq)
+// tie-break decides the entire dispatch order. This is the batched-delivery
+// shape the link layer produces under a packet burst.
+void BM_SameInstantBurst(benchmark::State& state) {
+  sim::EventLoop loop;
+  constexpr int kEvents = 512;
+  int fired = 0;
+  const auto burst_round = [&] {
+    const sim::TimePoint at = loop.now() + sim::Duration::micros(50);
+    for (int i = 0; i < kEvents; ++i) {
+      loop.schedule_at(at, [&fired] { ++fired; });
+    }
+    loop.run();
+  };
+  burst_round();
+
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    burst_round();
+    allocs += g_heap_allocs.load(std::memory_order_relaxed) - before;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+  state.counters["allocs_per_event"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * kEvents));
+}
+BENCHMARK(BM_SameInstantBurst);
 
 // Steady-state allocation proof for the packet path: client link -> middlebox
 // -> sink, with the sink recycling payloads into the loop's pool the way

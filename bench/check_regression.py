@@ -8,6 +8,15 @@ beyond the tolerance on any sweep label present in both files:
   * trials_per_sec drops below (1 - TOLERANCE) x baseline  -> slower
   * allocs_per_event rises above (1 + TOLERANCE) x baseline + ABS_EPS
     -> the hot path started allocating again
+  * cascades_per_event rises above (1 + TOLERANCE) x baseline + ABS_EPS
+    -> the timing wheel started moving events between buckets more than
+       the workload warrants (a scheduler-placement regression)
+
+setup_seconds_mean (per-trial world-construction time) is reported for
+trend-watching but never gated: it is wall-clock and machine-dependent.
+A baseline entry that predates a gated ratio leaves that ratio ungated;
+--strict-new refuses such stale entries so the baseline must be
+refreshed together with the field that introduced it.
 
 It also fails if the run's "deterministic" flag is false, or if a label
 recorded in the baseline is missing from the run (a silently dropped
@@ -92,6 +101,8 @@ def main(argv):
 
         tps_new, tps_old = r["trials_per_sec"], b["trials_per_sec"]
         ape_new, ape_old = r.get("allocs_per_event", 0.0), b.get("allocs_per_event", 0.0)
+        cpe_new = r.get("cascades_per_event", 0.0)
+        cpe_old = b.get("cascades_per_event")
 
         tps_floor = tps_old * (1.0 - TOLERANCE)
         ape_ceil = ape_old * (1.0 + TOLERANCE) + ABS_EPS
@@ -101,6 +112,21 @@ def main(argv):
             verdicts.append(f"trials/s {tps_new:.2f} < floor {tps_floor:.2f}")
         if ape_new > ape_ceil:
             verdicts.append(f"allocs/event {ape_new:.6f} > ceil {ape_ceil:.6f}")
+        if cpe_old is None:
+            msg = f"sweep '{label}': baseline predates cascades_per_event"
+            if strict_new:
+                failures.append(msg + " (--strict-new); refresh bench/baseline.json")
+            else:
+                print(f"note: {msg}; refresh bench/baseline.json to gate it")
+            cpe_old = 0.0
+        else:
+            cpe_ceil = cpe_old * (1.0 + TOLERANCE) + ABS_EPS
+            if cpe_new > cpe_ceil:
+                verdicts.append(
+                    f"cascades/event {cpe_new:.6f} > ceil {cpe_ceil:.6f}"
+                )
+        setup_new = r.get("setup_seconds_mean", 0.0)
+        setup_old = b.get("setup_seconds_mean", 0.0)
         if verdicts:
             failures.append(f"sweep '{label}': " + "; ".join(verdicts))
 
@@ -113,6 +139,10 @@ def main(argv):
                 f"{ape_old:.6f}",
                 f"{ape_new:.6f}",
                 fmt_delta(ape_new, ape_old),
+                f"{cpe_old:.4f}",
+                f"{cpe_new:.4f}",
+                f"{setup_old * 1e3:.2f}",
+                f"{setup_new * 1e3:.2f}",
                 "FAIL" if verdicts else "ok",
             )
         )
@@ -133,6 +163,10 @@ def main(argv):
                 "-",
                 f"{r.get('allocs_per_event', 0.0):.6f}",
                 "n/a",
+                "-",
+                f"{r.get('cascades_per_event', 0.0):.4f}",
+                "-",
+                f"{r.get('setup_seconds_mean', 0.0) * 1e3:.2f}",
                 "NEW" if not strict_new else "FAIL",
             )
         )
@@ -150,6 +184,10 @@ def main(argv):
         "allocs/event (base)",
         "allocs/event (run)",
         "delta",
+        "casc/event (base)",
+        "casc/event (run)",
+        "setup ms (base)",
+        "setup ms (run)",
         "verdict",
     )
     widths = [

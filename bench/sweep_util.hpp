@@ -17,6 +17,7 @@
 
 #include "experiment/harness.hpp"
 #include "experiment/runner.hpp"
+#include "obs/context.hpp"
 
 namespace h2sim::bench {
 
@@ -57,6 +58,19 @@ struct SweepEntry {
   std::uint64_t hot_path_allocs = 0;
   double allocs_per_event = 0.0;
   double allocs_per_packet = 0.0;
+  /// Timing-wheel scheduler work summed over the sweep's TrialResults:
+  /// occupancy-bitmap probes, bucket-to-bucket cascade hops, and live-event
+  /// cancellations. cascades_per_event is hardware-independent (a pure
+  /// function of the workload's timer pattern), so check_regression.py can
+  /// gate it the same way as allocs_per_event.
+  std::uint64_t sched_slots_scanned = 0;
+  std::uint64_t sched_cascades = 0;
+  std::uint64_t sched_cancels = 0;
+  double cascades_per_event = 0.0;
+  /// Mean per-trial world-construction wall time (the residual setup that
+  /// sweep-level scenario templates could not amortize). Wall-clock, so
+  /// reported for trend-watching but never gated.
+  double setup_seconds_mean = 0.0;
 };
 
 /// Owns a bench run's perf record: every run()/run_with_speedup() appends an
@@ -148,16 +162,25 @@ class SweepSession {
       e.events += r.sim_events_executed;
       e.packets += r.packets_forwarded;
       e.hot_path_allocs += r.sim_hot_path_allocs;
+      e.sched_slots_scanned += r.sim_sched_slots_scanned;
+      e.sched_cascades += r.sim_sched_cascades;
+      e.sched_cancels += r.sim_sched_cancels;
     }
     e.allocs_per_event =
         e.events ? static_cast<double>(e.hot_path_allocs) / static_cast<double>(e.events) : 0.0;
     e.allocs_per_packet =
         e.packets ? static_cast<double>(e.hot_path_allocs) / static_cast<double>(e.packets) : 0.0;
+    e.cascades_per_event =
+        e.events ? static_cast<double>(e.sched_cascades) / static_cast<double>(e.events) : 0.0;
+    // run_trials records the sweep's mean setup time in the caller context.
+    e.setup_seconds_mean =
+        obs::metrics().gauge_value("experiment.setup_seconds_mean");
     std::fprintf(stderr,
                  "[sweep] %s: %zu trials in %.2fs (%.1f trials/s, %d jobs, "
-                 "%.4f allocs/event)\n",
+                 "%.4f allocs/event, %.4f cascades/event, %.1fms setup/trial)\n",
                  label.c_str(), e.trials, wall, e.trials_per_sec, jobs,
-                 e.allocs_per_event);
+                 e.allocs_per_event, e.cascades_per_event,
+                 e.setup_seconds_mean * 1e3);
     entries_.push_back(std::move(e));
   }
 
@@ -193,13 +216,20 @@ class SweepSession {
                     "\"trials_per_sec\": %.3f, \"speedup_vs_1thread\": %.3f, "
                     "\"events\": %llu, \"packets\": %llu, "
                     "\"hot_path_allocs\": %llu, \"allocs_per_event\": %.6f, "
-                    "\"allocs_per_packet\": %.6f}",
+                    "\"allocs_per_packet\": %.6f, "
+                    "\"sched_slots_scanned\": %llu, \"sched_cascades\": %llu, "
+                    "\"sched_cancels\": %llu, \"cascades_per_event\": %.6f, "
+                    "\"setup_seconds_mean\": %.9f}",
                     e.trials, e.jobs, e.wall_seconds, e.trials_per_sec,
                     e.speedup_vs_1thread,
                     static_cast<unsigned long long>(e.events),
                     static_cast<unsigned long long>(e.packets),
                     static_cast<unsigned long long>(e.hot_path_allocs),
-                    e.allocs_per_event, e.allocs_per_packet);
+                    e.allocs_per_event, e.allocs_per_packet,
+                    static_cast<unsigned long long>(e.sched_slots_scanned),
+                    static_cast<unsigned long long>(e.sched_cascades),
+                    static_cast<unsigned long long>(e.sched_cancels),
+                    e.cascades_per_event, e.setup_seconds_mean);
       out += buf;
     }
     out += entries_.empty() ? "],\n" : "\n  ],\n";

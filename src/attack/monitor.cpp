@@ -86,18 +86,19 @@ void TrafficMonitor::feed(StreamState& st, const net::Packet& p,
 
 void TrafficMonitor::drain_records(StreamState& st, net::Direction dir,
                                    sim::TimePoint now) {
-  while (auto rec = st.parser.next()) {
+  tls::RecordHeader header;
+  while (st.parser.next_header(header)) {
     analysis::RecordObs obs;
     obs.time = now;
     obs.dir = dir;
-    obs.type = rec->header.type;
-    obs.body_len = rec->header.length;
+    obs.type = header.type;
+    obs.body_len = header.length;
     trace_.add(obs);
     metrics_.records_observed.inc();
 
     if (dir == net::Direction::kClientToServer &&
-        rec->header.type == tls::ContentType::kApplicationData &&
-        rec->header.length >= cfg_.get_min_record_body) {
+        header.type == tls::ContentType::kApplicationData &&
+        header.length >= cfg_.get_min_record_body) {
       ++get_count_;
       metrics_.gets_counted.inc();
       auto& tr = obs::tracer();
@@ -106,7 +107,7 @@ void TrafficMonitor::drain_records(StreamState& st, net::Direction dir,
                    obs::track::kAdversary, 0,
                    obs::TraceArgs()
                        .add("index", get_count_)
-                       .add("record_len", rec->header.length)
+                       .add("record_len", header.length)
                        .take());
       }
       if (on_get) on_get(get_count_, now);

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "experiment/harness.hpp"
+
+namespace h2sim::experiment {
+
+/// Order-sensitive FNV-1a digest of every *protocol-visible* TrialResult
+/// field: outcomes, predictions, counters that describe what happened on the
+/// wire. Deliberately excluded are the perf-accounting fields
+/// (sim_events_executed, sim_hot_path_allocs) whose values depend on how the
+/// simulator schedules work internally, not on the simulated wire — an
+/// optimisation that preserves wire behaviour must keep this digest stable
+/// even when it reshapes the event schedule.
+///
+/// Doubles are hashed by bit pattern, so the digest detects any numeric
+/// drift, not just drift past a tolerance.
+std::uint64_t result_digest(const TrialResult& r);
+
+/// "label seed 0123456789abcdef" — the line format of the committed golden
+/// file (tests/golden/trial_digests.txt).
+std::string digest_line(const std::string& label, std::uint64_t seed,
+                        const TrialResult& r);
+
+/// One cell of the behavioral-golden matrix: a named scenario and the seeds
+/// it is digested under.
+struct DigestScenario {
+  std::string label;
+  TrialConfig config;  // seed field is overwritten per run
+  std::vector<std::uint64_t> seeds;
+};
+
+/// The fixed scenario matrix behind tests/golden/trial_digests.txt: 32 seeds
+/// of the undisturbed page load plus attacked / single-target / defended
+/// variants. Shared by the h2sim-trialdigest tool (which regenerates the
+/// golden) and the determinism test (which checks against it).
+std::vector<DigestScenario> behavior_digest_matrix();
+
+}  // namespace h2sim::experiment

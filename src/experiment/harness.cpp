@@ -1,6 +1,7 @@
 #include "experiment/harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "analysis/boundary.hpp"
@@ -97,6 +98,17 @@ attack::AttackConfig jitter_throttle_config(Duration spacing, double bps) {
   return a;
 }
 
+namespace {
+// Wall-clock world-construction time of the last run_trial on this thread.
+// Deliberately NOT a per-trial metric: wall time is not a pure function of
+// the config, and per-trial registries are compared bit-for-bit by the
+// determinism suite. The sweep runner aggregates this into its caller's
+// context instead.
+thread_local std::uint64_t last_setup_nanos = 0;
+}  // namespace
+
+std::uint64_t last_trial_setup_nanos() { return last_setup_nanos; }
+
 int html_get_index(const web::IsidewithConfig& site) { return site.pre_objects + 1; }
 
 int emblem_get_index(const web::IsidewithConfig& site, int j) {
@@ -112,6 +124,11 @@ TrialResult run_trial(const TrialConfig& cfg) {
   // which is what makes concurrent trials safe.
   obs::metrics().reset();
   obs::tracer().clear();
+
+  // Wall-clock setup cost (world construction up to the first simulated
+  // event). Recorded as a registry counter only — never on the TrialResult —
+  // because wall time is not a pure function of the config.
+  const auto setup_begin = std::chrono::steady_clock::now();
 
   sim::EventLoop loop;
   sim::Rng root(cfg.seed);
@@ -152,17 +169,28 @@ TrialResult run_trial(const TrialConfig& cfg) {
     client_stack.deliver(std::move(p));
   });
 
-  web::Website site =
-      cfg.site_builder ? cfg.site_builder() : web::make_isidewith_site(cfg.site);
-  if (cfg.defense.pad_quantum > 1) {
-    site = defense::pad_site(site, cfg.defense.pad_quantum);
+  // The shared sweep-level site is only usable when the site carries no
+  // per-seed randomness; otherwise build it locally, exactly as a standalone
+  // trial always has. Note the rng_defense split happens in the same cases
+  // either way, so the trial's RNG stream is identical with or without a
+  // prebuilt site.
+  web::Website local_site;
+  const bool share_site =
+      cfg.prebuilt_site && !cfg.site_builder && cfg.defense.dummy_count == 0;
+  if (!share_site) {
+    local_site = cfg.site_builder ? cfg.site_builder()
+                                  : web::make_isidewith_site(cfg.site);
+    if (cfg.defense.pad_quantum > 1) {
+      local_site = defense::pad_site(local_site, cfg.defense.pad_quantum);
+    }
+    if (cfg.defense.dummy_count > 0) {
+      sim::Rng rng_defense = root.split();
+      defense::DummyConfig dc;
+      dc.count = cfg.defense.dummy_count;
+      defense::inject_dummies(local_site, rng_defense, dc);
+    }
   }
-  if (cfg.defense.dummy_count > 0) {
-    sim::Rng rng_defense = root.split();
-    defense::DummyConfig dc;
-    dc.count = cfg.defense.dummy_count;
-    defense::inject_dummies(site, rng_defense, dc);
-  }
+  const web::Website& site = share_site ? *cfg.prebuilt_site : local_site;
   analysis::WireLog wire_log;
 
   struct ServerSide {
@@ -180,15 +208,29 @@ TrialResult run_trial(const TrialConfig& cfg) {
     sc->app = std::make_unique<web::ServerApp>(loop, site, *sc->conn,
                                                rng_app.split(), cfg.server_app);
     web::ServerApp* app = sc->app.get();
-    sc->conn->set_frame_tap([app, &wire_log](const h2::Frame& f, sim::TimePoint t) {
+    // One-entry label cache: DATA frames arrive in long per-stream runs, and
+    // labels are assigned before the stream's first response frame and never
+    // change, so the map lookup only runs on stream switches.
+    sc->conn->set_frame_tap([app, &wire_log, cached_id = 0u,
+                             cached_label = static_cast<const std::string*>(
+                                 nullptr)](const h2::Frame& f,
+                                           sim::TimePoint t) mutable {
       analysis::ServerWireEvent ev;
       ev.time = t;
       ev.stream_id = f.stream_id;
       ev.is_data = f.type == h2::FrameType::kData;
       ev.data_bytes = ev.is_data ? f.payload.size() : 0;
       ev.end_stream = ev.is_data && f.has_flag(h2::flags::kEndStream);
-      auto it = app->stream_objects().find(f.stream_id);
-      ev.object = it != app->stream_objects().end() ? it->second : "";
+      if (!cached_label || cached_id != f.stream_id) {
+        auto it = app->stream_objects().find(f.stream_id);
+        if (it != app->stream_objects().end()) {
+          cached_id = f.stream_id;
+          cached_label = &it->second;
+          ev.object = *cached_label;
+        }
+      } else {
+        ev.object = *cached_label;
+      }
       wire_log.add(std::move(ev));
     });
     server_conns.push_back(std::move(sc));
@@ -216,6 +258,11 @@ TrialResult run_trial(const TrialConfig& cfg) {
   h2::ClientConnection client_conn(loop, client_tls, cfg.client_h2, rng_client_h2);
   web::Browser browser(loop, client_conn, site, perm, rng_browser, cfg.browser);
   browser.start();
+
+  last_setup_nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - setup_begin)
+          .count());
 
   loop.run(sim::TimePoint::origin() + cfg.sim_limit);
 
@@ -257,7 +304,11 @@ TrialResult run_trial(const TrialConfig& cfg) {
   // metrics_inspector see them alongside everything else).
   const sim::EventLoop::AllocStats& alloc = loop.alloc_stats();
   const sim::BufferPool::Stats& pool = loop.payload_pool().stats();
+  const sim::EventLoop::SchedStats& sched = loop.sched_stats();
   reg.counter("sim.events_executed").add(loop.executed_events());
+  reg.counter("sim.sched.slots_scanned").add(sched.slots_scanned);
+  reg.counter("sim.sched.cascades").add(sched.cascades);
+  reg.counter("sim.sched.cancels").add(sched.cancels);
   reg.counter("sim.alloc.slab_chunks").add(alloc.slab_chunks);
   reg.counter("sim.alloc.callback_heap").add(alloc.callback_heap);
   reg.counter("sim.alloc.heap_growth").add(alloc.heap_growth);
@@ -267,6 +318,9 @@ TrialResult run_trial(const TrialConfig& cfg) {
   r.packets_forwarded = reg.counter_value("net.mb_forwarded");
   r.sim_hot_path_allocs =
       alloc.slab_chunks + alloc.callback_heap + alloc.heap_growth + pool.misses;
+  r.sim_sched_slots_scanned = sched.slots_scanned;
+  r.sim_sched_cascades = sched.cascades;
+  r.sim_sched_cancels = sched.cancels;
 
   if (cfg.metrics_inspector) cfg.metrics_inspector(reg.snapshot());
 

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,15 @@ struct TrialConfig {
   /// when the custom site defines `emblem_paths`/`html_path` analogously;
   /// otherwise consume results through the inspectors above.
   std::function<web::Website()> site_builder;
+
+  /// Sweep-level shared site (see experiment::ScenarioTemplate): a fully
+  /// built, defense-transformed, content-materialized site reused read-only
+  /// by every trial of a sweep. Honored only when the site really is
+  /// seed-independent — no site_builder and no dummy injection — otherwise
+  /// the trial builds its own site exactly as before. The site a trial sees
+  /// is byte-identical either way, so results do not depend on whether a
+  /// sweep shared it.
+  std::shared_ptr<const web::Website> prebuilt_site;
 
   static net::Path::Config default_path();
   static h2::ConnectionConfig default_server_h2();
@@ -145,6 +156,13 @@ struct TrialResult {
   std::uint64_t packets_forwarded = 0;
   std::uint64_t sim_hot_path_allocs = 0;
 
+  /// Timing-wheel work counters (see sim::EventLoop::SchedStats): occupancy
+  /// bitmap words examined, events cascaded to a lower level, and O(1)
+  /// cancels. Deterministic like the other perf fields.
+  std::uint64_t sim_sched_slots_scanned = 0;
+  std::uint64_t sim_sched_cascades = 0;
+  std::uint64_t sim_sched_cancels = 0;
+
   /// Wire-level retransmission count as a tshark user would measure it:
   /// TCP retransmissions plus duplicate application requests.
   std::uint64_t wire_retransmissions() const {
@@ -157,6 +175,13 @@ struct TrialResult {
 };
 
 TrialResult run_trial(const TrialConfig& cfg);
+
+/// Wall-clock nanoseconds the calling thread's most recent run_trial spent
+/// constructing the world (everything before the first simulated event).
+/// Thread-local and nondeterministic by nature, which is why it lives beside
+/// the TrialResult instead of on it; run_trials() aggregates it into the
+/// sweep-level experiment.setup_* gauges.
+std::uint64_t last_trial_setup_nanos();
 
 /// GET index (1-based, as the monitor counts) of the result HTML and of the
 /// j-th emblem (j in 0..7) under clean counting (no reissues before them).

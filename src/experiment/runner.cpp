@@ -5,8 +5,49 @@
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+#include <utility>
+
+#include "experiment/scenario.hpp"
 
 namespace h2sim::experiment {
+
+namespace {
+
+/// Sweep-level site sharing: configs whose site is seed-independent and
+/// built from the same recipe get one prebuilt, content-materialized site
+/// between them (typically the whole sweep shares a single site). Configs
+/// that already carry a prebuilt_site, use a custom builder, or inject
+/// per-seed dummies are passed through untouched. Trials behave
+/// byte-identically either way; this only moves site construction out of
+/// the per-trial loop.
+std::vector<TrialConfig> share_prebuilt_sites(std::span<const TrialConfig> cfgs) {
+  std::vector<TrialConfig> out(cfgs.begin(), cfgs.end());
+  struct Recipe {
+    const TrialConfig* exemplar;
+    std::shared_ptr<const web::Website> site;
+  };
+  std::vector<Recipe> recipes;
+  for (TrialConfig& cfg : out) {
+    if (cfg.prebuilt_site || cfg.site_builder || cfg.defense.dummy_count != 0) {
+      continue;
+    }
+    Recipe* found = nullptr;
+    for (Recipe& r : recipes) {
+      if (same_site_recipe(*r.exemplar, cfg)) {
+        found = &r;
+        break;
+      }
+    }
+    if (!found) {
+      recipes.push_back({&cfg, prebuild_site(cfg)});
+      found = &recipes.back();
+    }
+    cfg.prebuilt_site = found->site;
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string expand_capture_path(const std::string& pattern, std::size_t index,
                                 std::uint64_t seed, std::size_t total) {
@@ -53,6 +94,8 @@ std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
   int jobs = resolve_jobs(opts.jobs);
   if (static_cast<std::size_t>(jobs) > total) jobs = static_cast<int>(total);
 
+  const std::vector<TrialConfig> shared = share_prebuilt_sites(cfgs);
+
   const auto wall_start = std::chrono::steady_clock::now();
   auto elapsed = [&wall_start] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -62,6 +105,7 @@ std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::uint64_t> setup_nanos_total{0};
   std::mutex progress_mu;
 
   // Work stealing via a shared atomic index: a worker that lands a short
@@ -80,14 +124,16 @@ std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
       {
         obs::ScopedContext scope(ctx);
         if (opts.capture_path.empty()) {
-          results[i] = run_trial(cfgs[i]);
+          results[i] = run_trial(shared[i]);
         } else {
-          TrialConfig cfg = cfgs[i];
+          TrialConfig cfg = shared[i];
           cfg.capture.path =
               expand_capture_path(opts.capture_path, i, cfg.seed, total);
           results[i] = run_trial(cfg);
         }
       }
+      setup_nanos_total.fetch_add(last_trial_setup_nanos(),
+                                  std::memory_order_relaxed);
       if (opts.context_inspector) opts.context_inspector(i, ctx);
       const std::size_t now_done =
           done.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -124,6 +170,13 @@ std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
   reg.gauge("experiment.sweep_trials_per_sec")
       .set(wall > 0 ? static_cast<double>(total) / wall : 0.0);
   reg.gauge("experiment.sweep_jobs").set(jobs);
+  // Mean per-trial world-construction time (wall clock, summed across
+  // workers). With sweep-level site sharing this is the residual setup the
+  // templates could not amortize.
+  reg.gauge("experiment.setup_seconds_mean")
+      .set(static_cast<double>(
+               setup_nanos_total.load(std::memory_order_relaxed)) /
+           1e9 / static_cast<double>(total));
   return results;
 }
 

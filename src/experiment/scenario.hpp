@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "experiment/harness.hpp"
+
+namespace h2sim::experiment {
+
+/// Sweep-level scenario template: the seed-independent parts of a
+/// TrialConfig — the website (objects built, defenses applied, body bytes
+/// materialized), the topology shape, the TLS/h2 connection parameters, and
+/// the attack plan — prepared once and shared read-only by every trial of a
+/// sweep.
+///
+/// Site prebuilding is only sound when the site really is the same for every
+/// seed: a custom site_builder may close over anything, and dummy-object
+/// injection draws from a per-seed RNG, so both disable sharing (the template
+/// still works; each trial just builds its own site as before). Padding is
+/// deterministic and is applied at template build time.
+///
+/// A trial's behaviour is byte-identical whether its config came from a
+/// template or was built standalone — instantiate() only fills
+/// TrialConfig::prebuilt_site, which run_trial() treats as a cache of the
+/// site it would otherwise construct.
+class ScenarioTemplate {
+ public:
+  explicit ScenarioTemplate(TrialConfig base);
+
+  /// The config for one trial: the shared base with `seed` set.
+  TrialConfig instantiate(std::uint64_t seed) const {
+    TrialConfig cfg = base_;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  const TrialConfig& base() const { return base_; }
+
+  /// True when the template holds a prebuilt site (no per-seed site
+  /// randomness in the base config).
+  bool site_shared() const { return base_.prebuilt_site != nullptr; }
+
+ private:
+  TrialConfig base_;
+};
+
+/// True when `a` and `b` would build byte-identical websites from scratch:
+/// both use the default isidewith builder (no custom site_builder), neither
+/// injects per-seed dummies, and their site/padding parameters match. Such
+/// configs can share one prebuilt site.
+bool same_site_recipe(const TrialConfig& a, const TrialConfig& b);
+
+/// Builds the site a config would construct at trial time (builder + padding,
+/// content materialized), or nullptr when the site is per-seed (custom
+/// builder or dummy injection) and cannot be shared.
+std::shared_ptr<const web::Website> prebuild_site(const TrialConfig& cfg);
+
+}  // namespace h2sim::experiment

@@ -145,8 +145,15 @@ void Connection::trace_stream_state(std::uint32_t stream_id, StreamState before)
 }
 
 Stream* Connection::find_stream(std::uint32_t id) {
+  // Frame processing hits the same stream many times in a row (every DATA
+  // chunk, window update, and tap consults it), so a one-entry cache turns
+  // most lookups into a compare. Invalidated on erase.
+  if (id == last_stream_id_ && last_stream_ != nullptr) return last_stream_;
   auto it = streams_.find(id);
-  return it == streams_.end() ? nullptr : it->second.get();
+  if (it == streams_.end()) return nullptr;
+  last_stream_id_ = id;
+  last_stream_ = it->second.get();
+  return last_stream_;
 }
 
 void Connection::destroy_stream_if_closed(std::uint32_t id) {
@@ -154,6 +161,7 @@ void Connection::destroy_stream_if_closed(std::uint32_t id) {
   if (!s || !s->closed()) return;
   rr_order_.erase(std::remove(rr_order_.begin(), rr_order_.end(), id),
                   rr_order_.end());
+  if (id == last_stream_id_) last_stream_ = nullptr;
   streams_.erase(id);
 }
 
@@ -245,7 +253,7 @@ void Connection::enqueue_data(std::uint32_t stream_id,
                               std::span<const std::uint8_t> bytes, bool end_stream) {
   Stream* s = find_stream(stream_id);
   if (!s || !s->can_send_data()) return;  // stream was reset: drop (flushed)
-  s->enqueue(std::vector<std::uint8_t>(bytes.begin(), bytes.end()), end_stream);
+  s->enqueue(bytes, end_stream);
   pump();
 }
 

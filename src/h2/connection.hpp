@@ -153,6 +153,8 @@ class Connection {
   sim::Rng rng_;
 
   std::map<std::uint32_t, std::unique_ptr<Stream>> streams_;
+  std::uint32_t last_stream_id_ = 0;  // one-entry find_stream cache
+  Stream* last_stream_ = nullptr;
   std::uint32_t highest_remote_stream_ = 0;
   std::uint32_t next_local_stream_;
   bool handshake_done_ = false;

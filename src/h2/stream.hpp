@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "h2/flow_control.hpp"
@@ -53,13 +53,15 @@ class Stream {
   }
 
   // --- Send queue ---
-  void enqueue(std::vector<std::uint8_t> bytes, bool end_stream);
+  void enqueue(std::span<const std::uint8_t> bytes, bool end_stream);
   /// Removes up to n bytes from the queue front.
   std::vector<std::uint8_t> dequeue(std::size_t n);
   void flush_queue();  // RST_STREAM: discard everything pending
-  std::size_t queued_bytes() const { return queue_.size(); }
+  std::size_t queued_bytes() const { return queue_.size() - head_; }
   bool end_stream_queued() const { return end_queued_; }
-  bool has_pending_output() const { return !queue_.empty() || end_queued_; }
+  bool has_pending_output() const {
+    return queue_.size() > head_ || end_queued_;
+  }
 
   FlowWindow& send_window() { return send_window_; }
   FlowWindow& recv_window() { return recv_window_; }
@@ -76,7 +78,10 @@ class Stream {
   StreamState state_ = StreamState::kIdle;
   FlowWindow send_window_;
   FlowWindow recv_window_;
-  std::deque<std::uint8_t> queue_;
+  // Flat send queue with a consumed-prefix offset: dequeue reads from
+  // contiguous storage and the prefix is reclaimed lazily on enqueue.
+  std::vector<std::uint8_t> queue_;
+  std::size_t head_ = 0;
   bool end_queued_ = false;
   std::size_t consumed_unacked_ = 0;
 };

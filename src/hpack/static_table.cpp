@@ -6,8 +6,9 @@
 namespace h2sim::hpack::static_table {
 namespace {
 
-const std::array<HeaderField, kEntries>& table() {
-  static const std::array<HeaderField, kEntries> t = {{
+// Namespace-scope so lookups skip the function-local-static guard check —
+// at() runs once per header field per frame, millions of times per sweep.
+const std::array<HeaderField, kEntries> kTable = {{
       {":authority", ""},
       {":method", "GET"},
       {":method", "POST"},
@@ -69,21 +70,19 @@ const std::array<HeaderField, kEntries>& table() {
       {"vary", ""},
       {"via", ""},
       {"www-authenticate", ""},
-  }};
-  return t;
-}
+}};
 
 }  // namespace
 
 const HeaderField& at(std::size_t index) {
   assert(index >= 1 && index <= kEntries);
-  return table()[index - 1];
+  return kTable[index - 1];
 }
 
 Match find(std::string_view name, std::string_view value) {
   Match m;
   for (std::size_t i = 1; i <= kEntries; ++i) {
-    const HeaderField& f = table()[i - 1];
+    const HeaderField& f = kTable[i - 1];
     if (f.name != name) continue;
     if (f.value == value) return Match{i, true};
     if (m.index == 0) m = Match{i, false};

@@ -35,6 +35,14 @@ void Link::send(Packet&& p) {
     loop_.payload_pool().release(std::move(p.payload));
     return;
   }
+  const sim::TimePoint now = loop_.now();
+  // Age the departure ledger: packets whose transmission has started no
+  // longer count against the drop-tail limit (the old explicit queue popped
+  // a packet when the serializer took it).
+  while (!ledger_.empty() && ledger_.front().depart <= now) {
+    queued_bytes_ -= ledger_.front().bytes;
+    ledger_.pop_front();
+  }
   if (queued_bytes_ + p.wire_size() > cfg_.queue_limit_bytes) {
     ++stats_.dropped_packets;
     metrics_.dropped.inc();
@@ -52,43 +60,36 @@ void Link::send(Packet&& p) {
     loop_.payload_pool().release(std::move(p.payload));
     return;
   }
-  queued_bytes_ += p.wire_size();
+  const std::size_t wire = p.wire_size();
+  queued_bytes_ += wire;
   metrics_.queue_depth.observe(static_cast<double>(queued_bytes_));
-  queue_.push_back(std::move(p));
-  if (!transmitting_) try_transmit();
-}
 
-void Link::try_transmit() {
-  if (queue_.empty()) {
-    transmitting_ = false;
-    return;
-  }
-  transmitting_ = true;
-  // Pop now so the serializer owns the packet during transmission; the queue
-  // limit applies to waiting packets only, which is close enough to drop-tail.
-  Packet p = std::move(queue_.front());
-  queue_.pop_front();
-  queued_bytes_ -= p.wire_size();
-
-  const double bits = static_cast<double>(p.wire_size()) * 8.0;
+  // Serialize behind everything already admitted, then propagate. One
+  // delivery event per packet; the serializer never re-enters the scheduler
+  // to fetch its next packet.
+  const sim::TimePoint start = busy_until_ > now ? busy_until_ : now;
+  const double bits = static_cast<double>(wire) * 8.0;
   const double tx_seconds =
       cfg_.bandwidth_bps > 0 ? bits / cfg_.bandwidth_bps : 0.0;
-  const sim::Duration tx = sim::Duration::seconds_f(tx_seconds);
+  busy_until_ = start + sim::Duration::seconds_f(tx_seconds);
 
-  // Transmission completes after `tx`; the packet then propagates for
-  // `delay`. The serializer is busy only for `tx`.
-  loop_.schedule_after(tx, [this, p = std::move(p)]() mutable {
-    const sim::Duration prop = cfg_.delay;
-    ++stats_.delivered_packets;
-    stats_.delivered_bytes += p.wire_size();
-    metrics_.delivered.inc();
-    loop_.schedule_after(prop, [this, p = std::move(p)]() mutable {
-      assert(sink_ && "link sink not attached");
-      if (deliver_tap_) deliver_tap_(p, loop_.now());
-      sink_(std::move(p));
-    });
-    try_transmit();
-  });
+  if (start > now) {
+    ledger_.push_back({start, wire});
+  } else {
+    queued_bytes_ -= wire;  // straight into the serializer, never waits
+  }
+
+  loop_.schedule_at(busy_until_ + cfg_.delay,
+                    [this, p = std::move(p)]() mutable { deliver(std::move(p)); });
+}
+
+void Link::deliver(Packet&& p) {
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += p.wire_size();
+  metrics_.delivered.inc();
+  assert(sink_ && "link sink not attached");
+  if (deliver_tap_) deliver_tap_(p, loop_.now());
+  sink_(std::move(p));
 }
 
 }  // namespace h2sim::net

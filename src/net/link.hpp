@@ -17,6 +17,16 @@ namespace h2sim::net {
 /// propagation delay. Matches the classic store-and-forward model, so the
 /// bandwidth-delay-product effects the paper relies on (Section IV-C) emerge
 /// naturally.
+///
+/// The serializer is modelled as a busy-until horizon rather than a chain of
+/// per-packet transmit-complete events: send() computes the packet's start of
+/// transmission (max(now, busy_until)), advances the horizon by the
+/// serialization time, and schedules a single delivery event at
+/// tx_end + delay. An admitted packet therefore costs exactly one scheduler
+/// event instead of two, and a burst of sends never re-enters the scheduler
+/// to hand the serializer its next packet. Queue accounting uses a departure
+/// ledger (a RingQueue of {tx_start, bytes}) aged at each send(), which
+/// reproduces the drop-tail "waiting bytes" limit of the explicit queue.
 class Link {
  public:
   struct Config {
@@ -60,7 +70,9 @@ class Link {
   /// Enqueues a packet for transmission; drops when the queue is full.
   void send(Packet&& p);
 
-  /// Adjusts the serialization rate mid-run (used by bandwidth experiments).
+  /// Adjusts the serialization rate / propagation delay. Applies to packets
+  /// sent from now on; packets already handed to the serializer keep the
+  /// timing they were admitted with.
   void set_bandwidth(double bps) { cfg_.bandwidth_bps = bps; }
   void set_delay(sim::Duration d) { cfg_.delay = d; }
 
@@ -69,7 +81,14 @@ class Link {
   const std::string& name() const { return name_; }
 
  private:
-  void try_transmit();
+  /// A packet waiting for the serializer: it stops counting against the
+  /// queue limit the moment its transmission starts.
+  struct Departure {
+    sim::TimePoint depart;  // start of transmission
+    std::size_t bytes = 0;
+  };
+
+  void deliver(Packet&& p);
 
   sim::EventLoop& loop_;
   Config cfg_;
@@ -78,9 +97,9 @@ class Link {
   std::function<void(const Packet&, sim::TimePoint)> send_tap_;
   std::function<void(const Packet&, sim::TimePoint)> deliver_tap_;
 
-  sim::RingQueue<Packet> queue_;
+  sim::RingQueue<Departure> ledger_;
   std::size_t queued_bytes_ = 0;
-  bool transmitting_ = false;
+  sim::TimePoint busy_until_ = sim::TimePoint::origin();
   sim::Rng loss_rng_;
   Stats stats_;
 

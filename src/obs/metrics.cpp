@@ -25,14 +25,6 @@ std::vector<double> exponential_buckets(double start, double factor, std::size_t
   return edges;
 }
 
-void Histogram::observe(double v) const {
-  if (!d_) return;
-  const auto it = std::lower_bound(d_->edges.begin(), d_->edges.end(), v);
-  ++d_->counts[static_cast<std::size_t>(it - d_->edges.begin())];
-  ++d_->count;
-  d_->sum += v;
-}
-
 MetricsRegistry& MetricsRegistry::instance() {
   detail::assert_singleton_thread("obs::MetricsRegistry::instance()");
   return default_context().metrics;

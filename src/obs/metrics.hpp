@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -66,7 +67,13 @@ class Gauge {
 class Histogram {
  public:
   Histogram() = default;
-  void observe(double v) const;
+  void observe(double v) const {
+    if (!d_) return;
+    const auto it = std::lower_bound(d_->edges.begin(), d_->edges.end(), v);
+    ++d_->counts[static_cast<std::size_t>(it - d_->edges.begin())];
+    ++d_->count;
+    d_->sum += v;
+  }
   const HistogramData* data() const { return d_; }
 
  private:

@@ -113,13 +113,13 @@ void TcpConnection::emit(std::uint8_t flags, std::uint32_t seq,
   p.sent_at = loop_.now();
   p.is_retransmission = retransmission;
   if (payload_len > 0) {
-    const std::size_t off = seq - buf_seq_;
+    const std::size_t off = send_head_ + (seq - buf_seq_);
     assert(off + payload_len <= send_buf_.size());
     // Recycled buffer: the assign reuses pooled capacity, so steady-state
     // segment emission performs no heap allocation.
     p.payload = loop_.payload_pool().acquire();
-    p.payload.assign(send_buf_.begin() + static_cast<std::ptrdiff_t>(off),
-                     send_buf_.begin() + static_cast<std::ptrdiff_t>(off + payload_len));
+    const std::uint8_t* src = send_buf_.data() + off;
+    p.payload.assign(src, src + payload_len);
   }
   ++stats_.segments_sent;
   metrics_.segments_sent.inc();
@@ -139,9 +139,18 @@ void TcpConnection::connect() {
 
 void TcpConnection::send(std::span<const std::uint8_t> data) {
   if (state_ == State::kAborted || fin_pending_ || fin_sent_) return;
-  if (send_buf_.size() + data.size() > cfg_.send_buffer_limit) {
+  if (send_buf_bytes() + data.size() > cfg_.send_buffer_limit) {
     sim::logf(sim::LogLevel::kWarn, loop_.now(), "tcp", "send buffer overflow");
     return;
+  }
+  if (send_head_ == send_buf_.size()) {
+    send_buf_.clear();
+    send_head_ = 0;
+  } else if (send_head_ >= 4096 && send_head_ >= send_buf_bytes()) {
+    // Reclaim the acked prefix once it dominates the buffer.
+    send_buf_.erase(send_buf_.begin(),
+                    send_buf_.begin() + static_cast<std::ptrdiff_t>(send_head_));
+    send_head_ = 0;
   }
   send_buf_.insert(send_buf_.end(), data.begin(), data.end());
   if (state_ == State::kEstablished || state_ == State::kCloseWait) try_send();
@@ -179,7 +188,7 @@ void TcpConnection::try_send() {
       state_ != State::kFinWait1 && state_ != State::kLastAck) {
     return;
   }
-  const std::uint32_t buf_end = buf_seq_ + static_cast<std::uint32_t>(send_buf_.size());
+  const std::uint32_t buf_end = buf_seq_ + static_cast<std::uint32_t>(send_buf_bytes());
   const bool was_idle = snd_una_ == snd_nxt_;
   bool sent_any = false;
   for (;;) {
@@ -207,7 +216,7 @@ void TcpConnection::try_send() {
 
 void TcpConnection::maybe_send_fin() {
   if (!fin_pending_ || fin_sent_) return;
-  const std::uint32_t buf_end = buf_seq_ + static_cast<std::uint32_t>(send_buf_.size());
+  const std::uint32_t buf_end = buf_seq_ + static_cast<std::uint32_t>(send_buf_bytes());
   if (seq_lt(snd_nxt_, buf_end)) return;  // data still unsent
   fin_seq_ = snd_nxt_;
   fin_sent_ = true;
@@ -218,7 +227,7 @@ void TcpConnection::maybe_send_fin() {
 
 void TcpConnection::retransmit_from(std::uint32_t seq, const char* why,
                                     bool rto_driven) {
-  const std::uint32_t buf_end = buf_seq_ + static_cast<std::uint32_t>(send_buf_.size());
+  const std::uint32_t buf_end = buf_seq_ + static_cast<std::uint32_t>(send_buf_bytes());
   if (fin_sent_ && seq == fin_seq_) {
     emit(kFin | kAck, fin_seq_, 0, true);
   } else if (seq_lt(seq, buf_end)) {
@@ -255,10 +264,14 @@ void TcpConnection::retransmit_from(std::uint32_t seq, const char* why,
 }
 
 void TcpConnection::arm_rto() {
-  cancel_rto();
   sim::logf(sim::LogLevel::kTrace, loop_.now(), "tcp", "%u:%u arm_rto %.1fms",
             local_node_, local_port_, rto_.to_millis());
-  rto_timer_ = loop_.schedule_after(rto_, [this] { on_rto(); });
+  // Rearm in place when possible: reschedule_after assigns the same fire time
+  // and the same FIFO seq as cancel+schedule would, so traces are unchanged,
+  // but the callback is kept instead of destroyed and rebuilt.
+  if (!loop_.reschedule_after(rto_timer_, rto_)) {
+    rto_timer_ = loop_.schedule_after(rto_, [this] { on_rto(); });
+  }
 }
 
 void TcpConnection::cancel_rto() { rto_timer_.cancel(); }
@@ -456,8 +469,8 @@ void TcpConnection::on_new_ack(std::uint32_t ack, std::size_t newly_acked) {
   if (fin_sent_ && seq_gt(ack, fin_seq_)) data_end = fin_seq_;
   if (seq_gt(data_end, buf_seq_)) {
     std::size_t n = data_end - buf_seq_;
-    n = std::min(n, send_buf_.size());
-    send_buf_.erase(send_buf_.begin(), send_buf_.begin() + static_cast<std::ptrdiff_t>(n));
+    n = std::min(n, send_buf_bytes());
+    send_head_ += n;
     buf_seq_ += static_cast<std::uint32_t>(n);
   }
 

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -87,7 +86,7 @@ class TcpConnection {
   net::Port remote_port() const { return remote_port_; }
   std::size_t bytes_in_flight() const { return snd_nxt_ - snd_una_; }
   std::size_t unsent_bytes() const {
-    return (buf_seq_ + static_cast<std::uint32_t>(send_buf_.size())) - snd_nxt_;
+    return (buf_seq_ + static_cast<std::uint32_t>(send_buf_bytes())) - snd_nxt_;
   }
   std::size_t cwnd() const { return cwnd_; }
   sim::Duration current_rto() const { return rto_; }
@@ -132,8 +131,12 @@ class TcpConnection {
   std::uint32_t iss_;
   std::uint32_t snd_una_;
   std::uint32_t snd_nxt_;
-  std::uint32_t buf_seq_;              // sequence number of send_buf_.front()
-  std::deque<std::uint8_t> send_buf_;  // unacked + unsent stream bytes
+  std::uint32_t buf_seq_;  // sequence number of the first unacked byte
+  // Unacked + unsent stream bytes: flat buffer with an acked-prefix offset,
+  // so segment emission copies from contiguous storage and acking is O(1).
+  std::vector<std::uint8_t> send_buf_;
+  std::size_t send_head_ = 0;
+  std::size_t send_buf_bytes() const { return send_buf_.size() - send_head_; }
   std::size_t cwnd_;
   std::size_t ssthresh_;
   std::size_t peer_wnd_ = 65535;

@@ -17,24 +17,55 @@ std::vector<std::uint8_t> serialize_record(const RecordHeader& h,
 }
 
 void RecordParser::feed(std::span<const std::uint8_t> bytes) {
+  if (head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+  } else if (head_ >= 4096 && head_ >= buf_.size() - head_) {
+    // Reclaim the consumed prefix once it dominates the buffer, so the
+    // buffer never grows unbounded across a long connection.
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
 }
 
 std::optional<RecordParser::Record> RecordParser::next() {
-  if (buf_.size() < kRecordHeaderBytes) return std::nullopt;
-  const std::uint16_t len =
-      static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf_[3]) << 8 | buf_[4]);
-  if (buf_.size() < kRecordHeaderBytes + len) return std::nullopt;
-
   Record r;
-  r.header.type = static_cast<ContentType>(buf_[0]);
-  r.header.version =
-      static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf_[1]) << 8 | buf_[2]);
-  r.header.length = len;
-  buf_.erase(buf_.begin(), buf_.begin() + kRecordHeaderBytes);
-  r.body.assign(buf_.begin(), buf_.begin() + len);
-  buf_.erase(buf_.begin(), buf_.begin() + len);
+  if (!next(r)) return std::nullopt;
   return r;
+}
+
+bool RecordParser::next(Record& out) {
+  const std::uint8_t* p = buf_.data() + head_;
+  const std::size_t avail = buf_.size() - head_;
+  if (avail < kRecordHeaderBytes) return false;
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[3]) << 8 | p[4]);
+  if (avail < kRecordHeaderBytes + len) return false;
+
+  out.header.type = static_cast<ContentType>(p[0]);
+  out.header.version =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[1]) << 8 | p[2]);
+  out.header.length = len;
+  out.body.assign(p + kRecordHeaderBytes, p + kRecordHeaderBytes + len);
+  head_ += kRecordHeaderBytes + len;
+  return true;
+}
+
+bool RecordParser::next_header(RecordHeader& out) {
+  const std::uint8_t* p = buf_.data() + head_;
+  const std::size_t avail = buf_.size() - head_;
+  if (avail < kRecordHeaderBytes) return false;
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[3]) << 8 | p[4]);
+  if (avail < kRecordHeaderBytes + len) return false;
+
+  out.type = static_cast<ContentType>(p[0]);
+  out.version =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[1]) << 8 | p[2]);
+  out.length = len;
+  head_ += kRecordHeaderBytes + len;
+  return true;
 }
 
 }  // namespace h2sim::tls

@@ -48,11 +48,23 @@ class RecordParser {
   /// Pops the next complete record, if any.
   std::optional<Record> next();
 
+  /// Pops the next complete record into `out`, reusing its body capacity.
+  /// The allocation-free variant for per-record hot loops.
+  bool next(Record& out);
+
+  /// Pops the next complete record's header, discarding the body without
+  /// copying it. For observers that only need record framing.
+  bool next_header(RecordHeader& out);
+
   /// Bytes buffered but not yet forming a complete record.
-  std::size_t pending_bytes() const { return buf_.size(); }
+  std::size_t pending_bytes() const { return buf_.size() - head_; }
 
  private:
-  std::deque<std::uint8_t> buf_;
+  // Flat buffer with a consumed-prefix offset: records are parsed from
+  // contiguous storage (one memcpy per body) and the prefix is reclaimed
+  // lazily, instead of paying deque segment walks on every record.
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
 };
 
 }  // namespace h2sim::tls

@@ -67,9 +67,13 @@ class TlsSession {
  private:
   void on_tcp_connected();
   void on_tcp_data(std::span<const std::uint8_t> bytes);
-  void handle_record(RecordParser::Record&& rec);
+  void handle_record(const RecordParser::Record& rec);
   void handle_handshake_record(const RecordParser::Record& rec);
   void send_record(ContentType type, std::span<const std::uint8_t> body);
+  /// Protects one plaintext chunk and sends it as a single ApplicationData
+  /// record, assembling header, ciphertext and tag in place in a reused
+  /// scratch buffer (no intermediate body vector).
+  void send_protected(std::span<const std::uint8_t> plaintext);
   void send_handshake_flight(std::size_t size);
   /// XORs the deterministic keystream over [src, src+n) into dst, starting
   /// at absolute keystream offset `stream_off`. Word-at-a-time on the aligned
@@ -77,7 +81,6 @@ class TlsSession {
   void apply_keystream(std::uint64_t key, std::uint64_t stream_off,
                        const std::uint8_t* src, std::uint8_t* dst,
                        std::size_t n) const;
-  std::vector<std::uint8_t> protect(std::span<const std::uint8_t> plaintext);
   bool unprotect(std::span<const std::uint8_t> body,
                  std::vector<std::uint8_t>& plaintext_out);
   void fail(std::string_view reason);
@@ -98,6 +101,8 @@ class TlsSession {
   std::uint64_t decrypt_counter_ = 0;
   std::uint64_t records_sent_ = 0;
   std::uint64_t records_received_ = 0;
+  std::vector<std::uint8_t> wire_scratch_;   // reused by send_protected
+  std::vector<std::uint8_t> plain_scratch_;  // reused by handle_record
 };
 
 }  // namespace h2sim::tls

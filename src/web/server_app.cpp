@@ -92,9 +92,18 @@ void ServerApp::produce_chunk(std::uint32_t stream_id) {
   const std::size_t remaining = w.obj->size - w.produced;
   const std::size_t n = std::min(cfg_.chunk_bytes, remaining);
   // Deterministic filler content; the bytes are opaque on the wire anyway.
-  std::vector<std::uint8_t> chunk(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    chunk[i] = static_cast<std::uint8_t>((w.produced + i) * 131 + w.obj->size);
+  // Normally a read-only window into the materialized object body; the
+  // generate-into-scratch path covers hand-built WebObjects that never went
+  // through Website::add_object.
+  std::span<const std::uint8_t> chunk;
+  if (w.obj->content.size() >= w.produced + n) {
+    chunk = std::span<const std::uint8_t>(w.obj->content).subspan(w.produced, n);
+  } else {
+    scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch_[i] = static_cast<std::uint8_t>((w.produced + i) * 131 + w.obj->size);
+    }
+    chunk = scratch_;
   }
   w.produced += n;
   const bool last = w.produced >= w.obj->size;

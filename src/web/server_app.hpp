@@ -79,6 +79,7 @@ class ServerApp {
   void start_next_queued();
 
   double speed_factor_ = 1.0;
+  std::vector<std::uint8_t> scratch_;  // chunk buffer for unmaterialized objects
   std::map<std::uint32_t, Worker> workers_;
   std::deque<std::pair<std::uint32_t, const WebObject*>> pending_;  // serial mode
   std::map<std::uint32_t, std::string> stream_objects_;

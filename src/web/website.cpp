@@ -6,8 +6,17 @@ namespace h2sim::web {
 
 using sim::Duration;
 
+void WebObject::materialize() {
+  if (content.size() == size) return;
+  content.resize(size);
+  for (std::size_t j = 0; j < size; ++j) {
+    content[j] = static_cast<std::uint8_t>(j * 131 + size);
+  }
+}
+
 void Website::add_object(WebObject obj) {
   assert(!obj.path.empty());
+  obj.materialize();
   objects_[obj.path] = std::move(obj);
 }
 

@@ -24,6 +24,15 @@ struct WebObject {
   /// object (image decode/IO paths are slower than cached JS, for example).
   double pace_factor = 1.0;
   std::string label;  // "html", "I1".."I8" (party emblems), "pre3", "filler7"
+  /// Materialized body, filled by Website::add_object. Generating the filler
+  /// bytes once per object (instead of per served chunk) lets the server app
+  /// hand out read-only spans, and lets a shared prebuilt site amortize the
+  /// generation across a whole sweep. The byte at offset j is j*131 + size
+  /// (mod 256) — identical to what chunk-time generation produced.
+  std::vector<std::uint8_t> content;
+
+  /// (Re)generates `content` to match `size`. Idempotent.
+  void materialize();
 };
 
 /// When a request step may be issued relative to page-load progress.
@@ -50,6 +59,8 @@ struct RequestStep {
 /// A website: object store plus the canonical page-load request schedule.
 class Website {
  public:
+  /// Stores the object, materializing its body bytes if `obj.content` does
+  /// not already match `obj.size`.
   void add_object(WebObject obj);
   const WebObject* find(std::string_view path) const;
   const WebObject* find_by_label(std::string_view label) const;

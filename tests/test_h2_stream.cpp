@@ -69,8 +69,10 @@ TEST(StreamState, PushPromiseOnlyFromIdle) {
 
 TEST(StreamQueue, EnqueueDequeue) {
   Stream s(1, 65535, 65535);
-  s.enqueue({1, 2, 3, 4, 5}, false);
-  s.enqueue({6, 7}, true);
+  const std::vector<std::uint8_t> first{1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> second{6, 7};
+  s.enqueue(first, false);
+  s.enqueue(second, true);
   EXPECT_EQ(s.queued_bytes(), 7u);
   EXPECT_TRUE(s.end_stream_queued());
   EXPECT_TRUE(s.has_pending_output());

@@ -1,0 +1,27 @@
+// Regenerates the behavioral-golden digest corpus
+// (tests/golden/trial_digests.txt): one line per (scenario, seed) cell of
+// experiment::behavior_digest_matrix(), digesting every protocol-visible
+// TrialResult field. The Determinism.BehaviorMatchesGoldenDigests test
+// compares live runs against the committed file, so simulator-internal
+// optimisations (scheduler, link batching, scenario templates) can prove
+// they left the simulated wire untouched.
+//
+// Usage: h2sim-trialdigest > tests/golden/trial_digests.txt
+
+#include <cstdio>
+
+#include "experiment/digest.hpp"
+
+int main() {
+  using namespace h2sim;
+  for (const auto& scenario : experiment::behavior_digest_matrix()) {
+    for (const std::uint64_t seed : scenario.seeds) {
+      experiment::TrialConfig cfg = scenario.config;
+      cfg.seed = seed;
+      const experiment::TrialResult r = experiment::run_trial(cfg);
+      std::printf("%s\n",
+                  experiment::digest_line(scenario.label, seed, r).c_str());
+    }
+  }
+  return 0;
+}
