@@ -16,6 +16,8 @@
 
 #include "analysis/stats.hpp"
 #include "experiment/harness.hpp"
+#include "experiment/sink.hpp"
+#include "obs/aggregate.hpp"
 #include "experiment/table_printer.hpp"
 #include "sweep_util.hpp"
 
@@ -48,6 +50,30 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 9; ++i) {
       if (r.success[static_cast<std::size_t>(i)]) ++all_success[static_cast<std::size_t>(i)];
     }
+  }
+
+  // --- Streamed campaign path (perf record only, no table rows) ---
+  // The same all-at-once grid pushed through an AggregatingSink with
+  // collect_results=false: the bounded-memory path tools/h2sim-campaign
+  // uses. Recorded as campaign_trials_per_sec so check_regression.py can
+  // gate the streaming overhead separately from the collected path, and
+  // cross-checked here against the in-memory reduction of all_results.
+  const auto campaign_labeler = [](std::size_t, const experiment::TrialConfig&) {
+    return std::string("all-at-once");
+  };
+  const std::string streamed_ndjson =
+      sweep.run_streamed("campaign-streamed", all_cfgs, campaign_labeler);
+  obs::AggregateTable reference;
+  for (std::size_t i = 0; i < all_results.size(); ++i) {
+    experiment::apply_trial_record(
+        reference, experiment::make_trial_record(i, all_cfgs[i],
+                                                 "all-at-once", all_results[i]));
+  }
+  if (streamed_ndjson != reference.ndjson()) {
+    std::fprintf(stderr,
+                 "[sweep] campaign-streamed: AGGREGATE MISMATCH — streamed "
+                 "sink differs from in-memory reduction\n");
+    return 1;
   }
 
   // --- One object at a time ---

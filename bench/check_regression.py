@@ -11,6 +11,11 @@ beyond the tolerance on any sweep label present in both files:
   * cascades_per_event rises above (1 + TOLERANCE) x baseline + ABS_EPS
     -> the timing wheel started moving events between buckets more than
        the workload warrants (a scheduler-placement regression)
+  * campaign_trials_per_sec drops below (1 - TOLERANCE) x baseline
+    -> the streaming-sink path (AggregatingSink, collect_results=false;
+       what tools/h2sim-campaign runs) got slower. Only gated on sweeps
+       where either side records a non-zero value: collected sweeps
+       legitimately report 0 for it.
 
 setup_seconds_mean (per-trial world-construction time) is reported for
 trend-watching but never gated: it is wall-clock and machine-dependent.
@@ -125,6 +130,25 @@ def main(argv):
                 verdicts.append(
                     f"cascades/event {cpe_new:.6f} > ceil {cpe_ceil:.6f}"
                 )
+        camp_new = r.get("campaign_trials_per_sec", 0.0)
+        camp_old = b.get("campaign_trials_per_sec")
+        if camp_new > 0.0 or (camp_old or 0.0) > 0.0:
+            if camp_old is None:
+                # Stale baseline: the run records a streamed-sink throughput
+                # the baseline has never seen, so the floor would be ungated.
+                msg = f"sweep '{label}': baseline predates campaign_trials_per_sec"
+                if strict_new:
+                    failures.append(msg + " (--strict-new); refresh bench/baseline.json")
+                else:
+                    print(f"note: {msg}; refresh bench/baseline.json to gate it")
+                camp_old = 0.0
+            else:
+                camp_floor = camp_old * (1.0 - TOLERANCE)
+                if camp_new < camp_floor:
+                    verdicts.append(
+                        f"campaign trials/s {camp_new:.2f} < floor {camp_floor:.2f}"
+                    )
+        camp_old = camp_old or 0.0
         setup_new = r.get("setup_seconds_mean", 0.0)
         setup_old = b.get("setup_seconds_mean", 0.0)
         if verdicts:
@@ -141,6 +165,8 @@ def main(argv):
                 fmt_delta(ape_new, ape_old),
                 f"{cpe_old:.4f}",
                 f"{cpe_new:.4f}",
+                f"{camp_old:.2f}",
+                f"{camp_new:.2f}",
                 f"{setup_old * 1e3:.2f}",
                 f"{setup_new * 1e3:.2f}",
                 "FAIL" if verdicts else "ok",
@@ -166,6 +192,8 @@ def main(argv):
                 "-",
                 f"{r.get('cascades_per_event', 0.0):.4f}",
                 "-",
+                f"{r.get('campaign_trials_per_sec', 0.0):.2f}",
+                "-",
                 f"{r.get('setup_seconds_mean', 0.0) * 1e3:.2f}",
                 "NEW" if not strict_new else "FAIL",
             )
@@ -186,6 +214,8 @@ def main(argv):
         "delta",
         "casc/event (base)",
         "casc/event (run)",
+        "camp/s (base)",
+        "camp/s (run)",
         "setup ms (base)",
         "setup ms (run)",
         "verdict",

@@ -17,6 +17,7 @@
 
 #include "experiment/harness.hpp"
 #include "experiment/runner.hpp"
+#include "experiment/sink.hpp"
 #include "obs/context.hpp"
 
 namespace h2sim::bench {
@@ -71,6 +72,12 @@ struct SweepEntry {
   /// sweep-level scenario templates could not amortize). Wall-clock, so
   /// reported for trend-watching but never gated.
   double setup_seconds_mean = 0.0;
+  /// > 0 only for run_streamed sweeps: trials/s through the campaign path
+  /// (AggregatingSink, collect_results=false — no TrialResult vector).
+  /// check_regression.py gates it with the same floor rule as
+  /// trials_per_sec; a baseline entry that predates the field leaves it
+  /// ungated until the baseline is refreshed (--strict-new refuses that).
+  double campaign_trials_per_sec = 0.0;
 };
 
 /// Owns a bench run's perf record: every run()/run_with_speedup() appends an
@@ -128,6 +135,43 @@ class SweepSession {
     }
     record(label, parallel, jobs_, wall_n, wall_n > 0 ? wall_1 / wall_n : 0.0);
     return parallel;
+  }
+
+  /// Runs the configs through an AggregatingSink with collect_results=false —
+  /// the bounded-memory streaming path the campaign driver uses (no
+  /// TrialResult vector is materialized) — and records the throughput as the
+  /// entry's campaign_trials_per_sec. Returns the final aggregate NDJSON so
+  /// callers can print it or cross-check against an in-memory reduction.
+  /// events/packets/alloc counters stay zero for streamed entries: there is
+  /// deliberately no result vector to sum them from, and the collected
+  /// sweeps above already gate those ratios on the same workload.
+  std::string run_streamed(const std::string& label,
+                           std::span<const experiment::TrialConfig> cfgs,
+                           experiment::AggregatingSink::Labeler labeler) {
+    experiment::AggregatingSink sink(std::move(labeler));
+    experiment::RunOptions opts;
+    opts.jobs = jobs_;
+    opts.sink = &sink;
+    opts.collect_results = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    experiment::run_trials(cfgs, opts);
+    const double wall = seconds_since(t0);
+    SweepEntry e;
+    e.label = label;
+    e.trials = cfgs.size();
+    e.jobs = jobs_;
+    e.wall_seconds = wall;
+    e.campaign_trials_per_sec =
+        wall > 0 ? static_cast<double>(cfgs.size()) / wall : 0.0;
+    e.setup_seconds_mean =
+        obs::metrics().gauge_value("experiment.setup_seconds_mean");
+    std::fprintf(stderr,
+                 "[sweep] %s: %zu trials in %.2fs (%.1f campaign trials/s, "
+                 "%d jobs, streamed)\n",
+                 label.c_str(), e.trials, wall, e.campaign_trials_per_sec,
+                 jobs_);
+    entries_.push_back(std::move(e));
+    return sink.table().ndjson();
   }
 
  private:
@@ -219,7 +263,8 @@ class SweepSession {
                     "\"allocs_per_packet\": %.6f, "
                     "\"sched_slots_scanned\": %llu, \"sched_cascades\": %llu, "
                     "\"sched_cancels\": %llu, \"cascades_per_event\": %.6f, "
-                    "\"setup_seconds_mean\": %.9f}",
+                    "\"setup_seconds_mean\": %.9f, "
+                    "\"campaign_trials_per_sec\": %.3f}",
                     e.trials, e.jobs, e.wall_seconds, e.trials_per_sec,
                     e.speedup_vs_1thread,
                     static_cast<unsigned long long>(e.events),
@@ -229,7 +274,8 @@ class SweepSession {
                     static_cast<unsigned long long>(e.sched_slots_scanned),
                     static_cast<unsigned long long>(e.sched_cascades),
                     static_cast<unsigned long long>(e.sched_cancels),
-                    e.cascades_per_event, e.setup_seconds_mean);
+                    e.cascades_per_event, e.setup_seconds_mean,
+                    e.campaign_trials_per_sec);
       out += buf;
     }
     out += entries_.empty() ? "],\n" : "\n  ],\n";

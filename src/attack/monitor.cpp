@@ -8,6 +8,7 @@ namespace h2sim::attack {
 
 void TrafficMonitor::observe(const net::Packet& p, net::Direction dir,
                              sim::TimePoint now) {
+  obs::ProfileScope prof(obs::Component::kAttack);
   // Connection key: the client's ephemeral port identifies the flow in both
   // directions.
   const std::uint32_t key = dir == net::Direction::kClientToServer

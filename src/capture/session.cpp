@@ -41,6 +41,7 @@ CaptureSession::CaptureSession(sim::EventLoop& loop, net::Path& path,
 
 void CaptureSession::record(std::uint32_t iface, const net::Packet& p,
                             sim::TimePoint t) {
+  obs::ProfileScope prof(obs::Component::kCapture);
   frame_buf_.clear();
   encode_frame(p, frame_buf_);
   writer_.write_packet(iface, t.count_nanos(), frame_buf_);

@@ -124,6 +124,7 @@ TrialResult run_trial(const TrialConfig& cfg) {
   // which is what makes concurrent trials safe.
   obs::metrics().reset();
   obs::tracer().clear();
+  obs::profiler().reset();
 
   // Wall-clock setup cost (world construction up to the first simulated
   // event). Recorded as a registry counter only — never on the TrialResult —

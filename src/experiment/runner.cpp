@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "experiment/scenario.hpp"
+#include "experiment/sink.hpp"
 
 namespace h2sim::experiment {
 
@@ -75,6 +76,40 @@ std::string expand_capture_path(const std::string& pattern, std::size_t index,
   return out;
 }
 
+ProgressWindow::ProgressWindow(std::size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void ProgressWindow::sample(double elapsed_seconds, std::size_t done) {
+  ring_[head_] = Sample{elapsed_seconds, done};
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+double ProgressWindow::rate() const {
+  if (size_ == 0) return 0.0;
+  const Sample& newest = ring_[(head_ + capacity_ - 1) % capacity_];
+  if (size_ == 1) {
+    // Lifetime mean until the window has a baseline.
+    return newest.t > 0 ? static_cast<double>(newest.done) / newest.t : 0.0;
+  }
+  const Sample& oldest = ring_[(head_ + capacity_ - size_) % capacity_];
+  const double dt = newest.t - oldest.t;
+  if (dt <= 0) {
+    return newest.t > 0 ? static_cast<double>(newest.done) / newest.t : 0.0;
+  }
+  const double dd =
+      static_cast<double>(newest.done) - static_cast<double>(oldest.done);
+  return dd > 0 ? dd / dt : 0.0;
+}
+
+double ProgressWindow::eta_seconds(std::size_t done, std::size_t total) const {
+  if (done >= total) return 0.0;
+  const double r = rate();
+  return r > 0 ? static_cast<double>(total - done) / r : 0.0;
+}
+
 int resolve_jobs(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("H2SIM_JOBS")) {
@@ -88,7 +123,7 @@ int resolve_jobs(int requested) {
 std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
                                     const RunOptions& opts) {
   const std::size_t total = cfgs.size();
-  std::vector<TrialResult> results(total);
+  std::vector<TrialResult> results(opts.collect_results ? total : 0);
   if (total == 0) return results;
 
   int jobs = resolve_jobs(opts.jobs);
@@ -107,6 +142,12 @@ std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
   std::atomic<std::size_t> done{0};
   std::atomic<std::uint64_t> setup_nanos_total{0};
   std::mutex progress_mu;
+  ProgressWindow window;  // guarded by progress_mu
+  bool final_sent = false;  // guarded by progress_mu
+  // Wall seconds (scaled to ns) of the last delivered report; workers test
+  // this atomically *before* taking progress_mu, so a rate-limited sweep
+  // does not serialize per trial.
+  std::atomic<std::int64_t> last_report_ns{-1};
 
   // Work stealing via a shared atomic index: a worker that lands a short
   // trial immediately claims the next unclaimed one, so long trials never
@@ -121,31 +162,59 @@ std::vector<TrialResult> run_trials(std::span<const TrialConfig> cfgs,
       // trial can reach, and every trial starts from an empty registry.
       obs::Context ctx;
       ctx.tracer.set_mask(opts.trace_mask);
+      ctx.profiler.set_enabled(opts.profile);
+      TrialResult result;
       {
         obs::ScopedContext scope(ctx);
         if (opts.capture_path.empty()) {
-          results[i] = run_trial(shared[i]);
+          result = run_trial(shared[i]);
         } else {
           TrialConfig cfg = shared[i];
           cfg.capture.path =
               expand_capture_path(opts.capture_path, i, cfg.seed, total);
-          results[i] = run_trial(cfg);
+          result = run_trial(cfg);
         }
       }
       setup_nanos_total.fetch_add(last_trial_setup_nanos(),
                                   std::memory_order_relaxed);
+      if (opts.sink) opts.sink->consume(i, shared[i], result, ctx);
       if (opts.context_inspector) opts.context_inspector(i, ctx);
+      if (opts.collect_results) results[i] = std::move(result);
       const std::size_t now_done =
           done.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (opts.on_progress) {
+      if (!opts.on_progress) continue;
+      const bool is_final = now_done == total;
+      const double t = elapsed();
+      if (opts.progress_min_interval_seconds > 0 && !is_final) {
+        // Cheap pre-mutex gate: claim the report slot by advancing the
+        // atomic timestamp; losers (or too-soon reports) skip entirely.
+        const std::int64_t now_ns = static_cast<std::int64_t>(t * 1e9);
+        const std::int64_t interval_ns = static_cast<std::int64_t>(
+            opts.progress_min_interval_seconds * 1e9);
+        std::int64_t last = last_report_ns.load(std::memory_order_relaxed);
+        if (last >= 0 && now_ns - last < interval_ns) continue;
+        if (!last_report_ns.compare_exchange_strong(
+                last, now_ns, std::memory_order_relaxed)) {
+          continue;
+        }
+      }
+      {
         std::lock_guard<std::mutex> lock(progress_mu);
+        // Exactly one final report: the worker that completes the last trial
+        // always delivers `done == total`, and (in rate-limited mode, where
+        // callers opted out of per-trial reports) nothing after it.
+        if (final_sent &&
+            (opts.progress_min_interval_seconds > 0 || is_final)) {
+          continue;
+        }
+        window.sample(t, now_done);
         Progress p;
         p.done = now_done;
         p.total = total;
-        p.elapsed_seconds = elapsed();
-        p.eta_seconds =
-            p.elapsed_seconds / static_cast<double>(now_done) *
-            static_cast<double>(total - now_done);
+        p.elapsed_seconds = t;
+        p.trials_per_sec = window.rate();
+        p.eta_seconds = window.eta_seconds(now_done, total);
+        if (is_final) final_sent = true;
         opts.on_progress(p);
       }
     }

@@ -11,13 +11,46 @@
 
 namespace h2sim::experiment {
 
+class ResultSink;
+
 /// Progress report for a sweep in flight. `eta_seconds` extrapolates from
-/// the mean wall time of the trials finished so far.
+/// the *recent* completion rate (a sliding window over the last reports),
+/// not the lifetime mean — on heterogeneous grids (e.g. a load sweep whose
+/// late cells run 10x slower) the lifetime mean wildly underestimates the
+/// remaining time.
 struct Progress {
   std::size_t done = 0;
   std::size_t total = 0;
   double elapsed_seconds = 0.0;
   double eta_seconds = 0.0;
+  /// Completion rate over the sliding window (lifetime mean until the
+  /// window has two samples); 0 when no time has passed.
+  double trials_per_sec = 0.0;
+};
+
+/// Sliding-window completion-rate estimator behind Progress::eta_seconds,
+/// exposed so the bias fix is unit-testable. Feed it (elapsed, done) samples;
+/// rate() is the slope across the oldest and newest retained sample —
+/// capacity bounds how far back "recent" reaches. With fewer than two
+/// samples it falls back to the lifetime mean of the newest sample.
+class ProgressWindow {
+ public:
+  explicit ProgressWindow(std::size_t capacity = 32);
+  void sample(double elapsed_seconds, std::size_t done);
+  /// Trials per second; 0 when unknowable (no samples / no elapsed time).
+  double rate() const;
+  /// (total - done) / rate(); 0 when done == total or rate is unknowable.
+  double eta_seconds(std::size_t done, std::size_t total) const;
+
+ private:
+  struct Sample {
+    double t = 0.0;
+    std::size_t done = 0;
+  };
+  std::vector<Sample> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
 };
 
 /// Options for run_trials().
@@ -35,6 +68,31 @@ struct RunOptions {
   /// (so the callback itself may be non-reentrant), from whichever worker
   /// finished the trial.
   std::function<void(const Progress&)> on_progress;
+
+  /// Opt-in progress rate limit: when > 0, intermediate reports are dropped
+  /// unless at least this much wall time has passed since the last one —
+  /// workers check an atomic timestamp *before* touching the progress mutex,
+  /// so million-trial sweeps don't serialize on it. Two guarantees hold
+  /// regardless of the interval: exactly one final `done == total` report is
+  /// delivered, and no report is delivered after it. 0 (default) keeps the
+  /// one-report-per-trial behaviour.
+  double progress_min_interval_seconds = 0.0;
+
+  /// Streaming consumer invoked on the worker thread after each trial, with
+  /// the trial's private context still alive (see sink.hpp). May be combined
+  /// with context_inspector; the sink runs first.
+  ResultSink* sink = nullptr;
+
+  /// When false, run_trials() returns an empty vector instead of
+  /// materializing one TrialResult per trial — the sink (and inspectors) are
+  /// then the only consumers, and runner memory is O(jobs), not O(trials).
+  bool collect_results = true;
+
+  /// Enables the wall-time component profiler (obs::Profiler) in every
+  /// per-trial context. Read the per-trial attribution from the sink /
+  /// context_inspector via ctx.profiler. Off by default; disabled probes
+  /// cost one branch.
+  bool profile = false;
 
   /// Invoked on the worker thread right after trial `index` finishes, while
   /// its private obs::Context (metrics + trace events) is still alive.
@@ -61,7 +119,8 @@ std::string expand_capture_path(const std::string& pattern, std::size_t index,
 int resolve_jobs(int requested);
 
 /// Runs every config, using up to RunOptions::jobs worker threads, and
-/// returns results in input order.
+/// returns results in input order (empty when opts.collect_results is
+/// false — stream through opts.sink instead).
 ///
 /// Determinism: each trial executes inside a fresh private obs::Context, and
 /// a trial is a pure function of its TrialConfig — so results[i] (and the

@@ -333,6 +333,7 @@ std::uint32_t Connection::pick_ready_stream() {
 
 void Connection::pump() {
   if (dead_ || !handshake_done_) return;
+  obs::ProfileScope prof(obs::Component::kH2);
   for (;;) {
     // Socket backpressure: stop queueing into TCP beyond the watermark.
     const std::size_t tcp_buffered = tls_.connection().bytes_in_flight() +
@@ -391,6 +392,7 @@ void Connection::pump() {
 }
 
 void Connection::on_plaintext(std::span<const std::uint8_t> bytes) {
+  obs::ProfileScope prof(obs::Component::kH2);
   if (is_server_ && !preface_received_) {
     preface_buffer_.insert(preface_buffer_.end(), bytes.begin(), bytes.end());
     if (preface_buffer_.size() < 24) return;

@@ -84,6 +84,7 @@ void Link::send(Packet&& p) {
 }
 
 void Link::deliver(Packet&& p) {
+  obs::ProfileScope prof(obs::Component::kNet);
   ++stats_.delivered_packets;
   stats_.delivered_bytes += p.wire_size();
   metrics_.delivered.inc();

@@ -1,0 +1,158 @@
+#include "obs/aggregate.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace h2sim::obs {
+
+void StatAccumulator::merge(const StatAccumulator& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    *this = o;
+    return;
+  }
+  const double n_a = static_cast<double>(count);
+  const double n_b = static_cast<double>(o.count);
+  const double n = n_a + n_b;
+  const double delta = o.mean - mean;
+  mean += delta * (n_b / n);
+  m2 += o.m2 + delta * delta * (n_a * n_b / n);
+  count += o.count;
+  if (o.min < min) min = o.min;
+  if (o.max > max) max = o.max;
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double StatAccumulator::ci95_halfwidth() const {
+  if (count < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count));
+}
+
+void CellAggregate::observe(const std::string& histogram, double value) {
+  HistogramData& h = histograms[histogram];
+  const auto it = std::lower_bound(h.edges.begin(), h.edges.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - h.edges.begin());
+  if (h.counts.size() != h.edges.size() + 1) {
+    h.counts.assign(h.edges.size() + 1, 0);
+  }
+  ++h.counts[bucket];
+  ++h.count;
+  h.sum += value;
+}
+
+void CellAggregate::merge(const CellAggregate& o) {
+  trials += o.trials;
+  for (const auto& [field, acc] : o.stats) stats[field].merge(acc);
+  for (const auto& [name, h] : o.histograms) {
+    if (!histograms[name].merge(h)) {
+      // Mismatched edges cannot be combined; drop the foreign histogram
+      // rather than silently corrupting counts. (Callers control edges, so
+      // this only fires on schema drift between producers.)
+    }
+  }
+}
+
+const CellAggregate* AggregateTable::find(const std::string& label) const {
+  const auto it = cells_.find(label);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t AggregateTable::total_trials() const {
+  std::uint64_t n = 0;
+  for (const auto& [label, cell] : cells_) n += cell.trials;
+  return n;
+}
+
+void AggregateTable::merge(const AggregateTable& o) {
+  for (const auto& [label, cell] : o.cells_) cells_[label].merge(cell);
+}
+
+void append_exact_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+namespace {
+
+void append_quoted_label(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_stat(std::string& out, const StatAccumulator& a) {
+  out += "{\"count\": " + std::to_string(a.count) + ", \"mean\": ";
+  append_exact_double(out, a.mean);
+  out += ", \"m2\": ";
+  append_exact_double(out, a.m2);
+  out += ", \"min\": ";
+  append_exact_double(out, a.count ? a.min : 0.0);
+  out += ", \"max\": ";
+  append_exact_double(out, a.count ? a.max : 0.0);
+  out += ", \"stddev\": ";
+  append_exact_double(out, a.stddev());
+  out += ", \"ci95\": ";
+  append_exact_double(out, a.ci95_halfwidth());
+  out += "}";
+}
+
+}  // namespace
+
+std::string AggregateTable::ndjson() const {
+  std::string out;
+  for (const auto& [label, cell] : cells_) {
+    out += "{\"cell\": ";
+    append_quoted_label(out, label);
+    out += ", \"trials\": " + std::to_string(cell.trials);
+    out += ", \"stats\": {";
+    bool first = true;
+    for (const auto& [field, acc] : cell.stats) {
+      if (!first) out += ", ";
+      first = false;
+      append_quoted_label(out, field);
+      out += ": ";
+      append_stat(out, acc);
+    }
+    out += "}";
+    if (!cell.histograms.empty()) {
+      out += ", \"histograms\": {";
+      first = true;
+      for (const auto& [name, h] : cell.histograms) {
+        if (!first) out += ", ";
+        first = false;
+        append_quoted_label(out, name);
+        out += ": {\"edges\": [";
+        for (std::size_t i = 0; i < h.edges.size(); ++i) {
+          if (i) out += ", ";
+          append_exact_double(out, h.edges[i]);
+        }
+        out += "], \"counts\": [";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          if (i) out += ", ";
+          out += std::to_string(h.counts[i]);
+        }
+        out += "], \"count\": " + std::to_string(h.count) + ", \"sum\": ";
+        append_exact_double(out, h.sum);
+        out += "}";
+      }
+      out += "}";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool AggregateTable::write_ndjson(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = ndjson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace h2sim::obs

@@ -1,18 +1,20 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace h2sim::obs {
 
-/// The mutable observability state one simulation writes: a metrics registry
-/// plus a tracer. Every instrumented component resolves its registry/tracer
-/// through the *current* context (see below) instead of a process-wide
+/// The mutable observability state one simulation writes: a metrics registry,
+/// a tracer, and a wall-time profiler. Every instrumented component resolves
+/// these through the *current* context (see below) instead of a process-wide
 /// singleton, so concurrent trials — each with its own Context — never share
 /// mutable state.
 struct Context {
   MetricsRegistry metrics;
   Tracer tracer;
+  Profiler profiler;
 
   Context() = default;
   Context(const Context&) = delete;

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace h2sim::obs::json {
 
 const Value* Value::find(const std::string& key) const {
@@ -196,3 +198,65 @@ class Parser {
 std::optional<Value> parse(const std::string& text) { return Parser(text).run(); }
 
 }  // namespace h2sim::obs::json
+
+namespace h2sim::obs {
+
+namespace {
+
+// null (the writer's non-finite guard) reads back as 0.0; see header.
+double number_or_zero(const json::Value& v) {
+  return v.is_number() ? v.number : 0.0;
+}
+
+}  // namespace
+
+std::optional<MetricsSnapshot> metrics_snapshot_from_json(const std::string& text) {
+  const auto doc = json::parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const json::Value* counters = doc->find("counters");
+  const json::Value* gauges = doc->find("gauges");
+  const json::Value* histograms = doc->find("histograms");
+  if (!counters || !counters->is_object() || !gauges || !gauges->is_object() ||
+      !histograms || !histograms->is_object()) {
+    return std::nullopt;
+  }
+
+  MetricsSnapshot snap;
+  for (const auto& [name, v] : counters->object) {
+    if (!v.is_number()) return std::nullopt;
+    snap.counters[name] = static_cast<std::uint64_t>(v.number);
+  }
+  for (const auto& [name, v] : gauges->object) {
+    if (!v.is_number() && v.kind != json::Value::Kind::kNull) return std::nullopt;
+    snap.gauges[name] = number_or_zero(v);
+  }
+  for (const auto& [name, v] : histograms->object) {
+    if (!v.is_object()) return std::nullopt;
+    const json::Value* edges = v.find("edges");
+    const json::Value* counts = v.find("counts");
+    const json::Value* count = v.find("count");
+    const json::Value* sum = v.find("sum");
+    if (!edges || !edges->is_array() || !counts || !counts->is_array() ||
+        !count || !count->is_number() || !sum) {
+      return std::nullopt;
+    }
+    HistogramData h;
+    h.edges.reserve(edges->array.size());
+    for (const auto& e : edges->array) {
+      if (!e.is_number()) return std::nullopt;
+      h.edges.push_back(e.number);
+    }
+    h.counts.reserve(counts->array.size());
+    for (const auto& c : counts->array) {
+      if (!c.is_number()) return std::nullopt;
+      h.counts.push_back(static_cast<std::uint64_t>(c.number));
+    }
+    if (h.counts.size() != h.edges.size() + 1) return std::nullopt;
+    h.count = static_cast<std::uint64_t>(count->number);
+    h.sum = number_or_zero(*sum);
+    snap.histograms[name] = std::move(h);
+  }
+  return snap;
+}
+
+}  // namespace h2sim::obs

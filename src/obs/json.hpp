@@ -35,3 +35,18 @@ struct Value {
 std::optional<Value> parse(const std::string& text);
 
 }  // namespace h2sim::obs::json
+
+namespace h2sim::obs {
+
+struct MetricsSnapshot;
+
+/// Inverse of metrics_json(): rebuilds a snapshot from the document the
+/// writer produced. nullopt on syntax errors or a structurally foreign
+/// document (missing sections, wrong types). Finite doubles round-trip
+/// bit-exactly (%.17g); non-finite values were written as `null` by the
+/// writer's guard and read back as 0.0 — by the time a value reaches an
+/// export it should already be finite, and 0.0 keeps snapshots comparable
+/// (NaN would poison operator==).
+std::optional<MetricsSnapshot> metrics_snapshot_from_json(const std::string& text);
+
+}  // namespace h2sim::obs

@@ -1,11 +1,33 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdio>
 
 #include "obs/context.hpp"
 
 namespace h2sim::obs {
+
+bool HistogramData::merge(const HistogramData& o) {
+  if (o.count == 0 && o.edges.empty()) return true;
+  if (edges.empty() && counts.empty()) {
+    *this = o;
+    return true;
+  }
+  if (edges != o.edges || counts.size() != o.counts.size()) return false;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+  count += o.count;
+  sum += o.sum;
+  return true;
+}
+
+HistogramData& HistogramData::operator+=(const HistogramData& o) {
+  const bool ok = merge(o);
+  assert(ok && "HistogramData::operator+= requires identical bucket edges");
+  (void)ok;
+  return *this;
+}
 
 std::vector<double> linear_buckets(double start, double width, std::size_t n) {
   std::vector<double> edges;
@@ -89,6 +111,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 namespace {
 
 void append_double(std::string& out, double v) {
+  // JSON has no inf/nan literals; "%.17g" would happily print them and
+  // corrupt the document for strict parsers (including obs::json::parse).
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   out += buf;

@@ -19,6 +19,18 @@ struct HistogramData {
   std::uint64_t count = 0;
   double sum = 0.0;
 
+  /// Combines another histogram into this one. Histograms are mergeable only
+  /// when their bucket edges are identical (the common case: every producer
+  /// registered the same schema); an empty-edged accumulator adopts the other
+  /// side's edges wholesale. Returns false — leaving this histogram
+  /// untouched — when the edges differ, so callers can surface schema drift
+  /// instead of silently mixing incompatible buckets. Bucket counts are
+  /// integers, so merging is exact and order-independent.
+  bool merge(const HistogramData& o);
+  /// merge() that treats edge mismatch as a programming error (asserts in
+  /// debug builds, no-op in release).
+  HistogramData& operator+=(const HistogramData& o);
+
   bool operator==(const HistogramData&) const = default;
 };
 

@@ -1,0 +1,89 @@
+#include "obs/profiler.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/context.hpp"
+
+namespace h2sim::obs {
+
+std::uint64_t Profiler::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Profiler::reset() {
+  frames_.clear();
+  path_.clear();
+  component_self_ns_.fill(0);
+  paths_.clear();
+}
+
+void Profiler::enter(Component c) {
+  const std::size_t parent_len = path_.size();
+  if (!path_.empty()) path_ += ';';
+  path_ += to_string(c);
+  frames_.push_back(Frame{c, now_ns(), 0, parent_len});
+}
+
+void Profiler::exit() {
+  if (frames_.empty()) return;  // unbalanced exit; tolerate rather than crash
+  const Frame f = frames_.back();
+  frames_.pop_back();
+  const std::uint64_t end = now_ns();
+  const std::uint64_t total = end > f.start_ns ? end - f.start_ns : 0;
+  const std::uint64_t self = total > f.child_ns ? total - f.child_ns : 0;
+
+  PathStat& stat = paths_[path_];
+  stat.self_ns += self;
+  ++stat.calls;
+  component_self_ns_[static_cast<std::size_t>(f.comp)] += self;
+
+  if (!frames_.empty()) frames_.back().child_ns += total;
+  path_.resize(f.parent_path_len);
+}
+
+std::string Profiler::collapsed() const {
+  std::string out;
+  for (const auto& [path, stat] : paths_) {
+    out += path;
+    out += ' ';
+    out += std::to_string(stat.self_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Profiler::counter_events(sim::TimePoint t) const {
+  std::vector<TraceEvent> events;
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    if (component_self_ns_[i] == 0) continue;
+    const Component c = static_cast<Component>(i);
+    TraceEvent e;
+    e.comp = c;
+    e.phase = 'C';
+    e.name = std::string("wall_self_us.") + to_string(c);
+    e.ts_ns = t.count_nanos();
+    e.pid = track::kClient;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"wall_self_us\": %.3f",
+                  static_cast<double>(component_self_ns_[i]) / 1000.0);
+    e.args = buf;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Profiler& profiler() { return current().profiler; }
+
+bool write_collapsed(const Profiler& prof, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = prof.collapsed();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace h2sim::obs

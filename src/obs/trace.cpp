@@ -16,6 +16,7 @@ const char* to_string(Component c) {
     case Component::kWeb: return "web";
     case Component::kAttack: return "attack";
     case Component::kExperiment: return "experiment";
+    case Component::kCapture: return "capture";
     case Component::kCount: break;
   }
   return "?";

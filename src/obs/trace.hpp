@@ -21,6 +21,7 @@ enum class Component : std::uint32_t {
   kWeb,
   kAttack,
   kExperiment,
+  kCapture,
   kCount,
 };
 

@@ -1,5 +1,6 @@
 #include "tcp/tcp_stack.hpp"
 
+#include "obs/profiler.hpp"
 #include "sim/log.hpp"
 
 namespace h2sim::tcp {
@@ -16,6 +17,7 @@ TcpConnection& TcpStack::connect(net::NodeId dst, net::Port dst_port) {
 }
 
 void TcpStack::deliver(net::Packet&& p) {
+  obs::ProfileScope prof(obs::Component::kTcp);
   // This stack is the packet's terminal consumer: whatever happens below, the
   // payload buffer goes back to the loop's pool on exit so the next emitted
   // segment reuses it instead of allocating.

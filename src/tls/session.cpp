@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/profiler.hpp"
+
 namespace h2sim::tls {
 namespace {
 
@@ -202,6 +204,7 @@ void TlsSession::apply_keystream(std::uint64_t key, std::uint64_t stream_off,
 }
 
 void TlsSession::send_protected(std::span<const std::uint8_t> plaintext) {
+  obs::ProfileScope prof(obs::Component::kTls);
   const std::uint64_t key = direction_key(/*encrypt=*/true);
   const std::size_t n = plaintext.size();
   const std::size_t body_len = n + kAeadTagBytes;
@@ -285,6 +288,7 @@ void TlsSession::fail(std::string_view reason) {
 }
 
 void TlsSession::on_tcp_data(std::span<const std::uint8_t> bytes) {
+  obs::ProfileScope prof(obs::Component::kTls);
   parser_.feed(bytes);
   RecordParser::Record rec;  // body capacity reused across iterations
   while (parser_.next(rec)) {

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -122,6 +123,53 @@ TEST(MetricsRegistryTest, MetricsJsonRoundTrips) {
   ASSERT_TRUE(hv->find("counts")->is_array());
   EXPECT_EQ(hv->find("counts")->array.size(), 3u);
   EXPECT_DOUBLE_EQ(hv->find("count")->number, 2.0);
+}
+
+// Writer -> reader round trip through metrics_snapshot_from_json: the
+// reconstructed MetricsSnapshot must equal the original, histograms (edges,
+// counts, count, sum) included, with doubles carried bit-exactly by %.17g.
+TEST(MetricsRegistryTest, SnapshotJsonWriteReadRoundTrips) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("test_obs.rt_counter").add(7);
+  // An awkward double that a short decimal rendering would corrupt.
+  reg.gauge("test_obs.rt_gauge").set(0.1 + 0.2);
+  obs::Histogram h =
+      reg.histogram("test_obs.rt_hist", obs::exponential_buckets(1.0, 2.0, 4));
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(1e9);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto back = obs::metrics_snapshot_from_json(obs::metrics_json(snap));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, snap);
+
+  EXPECT_FALSE(obs::metrics_snapshot_from_json("{\"counters\": {}}"));
+  EXPECT_FALSE(obs::metrics_snapshot_from_json("not json"));
+}
+
+// Non-finite guard: inf/nan have no JSON literal, so the writer emits null
+// (keeping the document parseable) and the reader maps null back to 0.0.
+TEST(MetricsRegistryTest, NonFiniteGaugeSurvivesExportAsNull) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.gauge("test_obs.gauge_a").set(std::numeric_limits<double>::infinity());
+  reg.gauge("test_obs.gauge_b").set(std::numeric_limits<double>::quiet_NaN());
+  reg.gauge("test_obs.gauge_c").set(1.25);
+
+  const std::string json = obs::metrics_json(reg.snapshot());
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("\"test_obs.gauge_a\": null"), std::string::npos)
+      << json;
+  ASSERT_TRUE(obs::json::parse(json).has_value()) << json;
+
+  const auto back = obs::metrics_snapshot_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->gauges.at("test_obs.gauge_a"), 0.0);
+  EXPECT_EQ(back->gauges.at("test_obs.gauge_b"), 0.0);
+  EXPECT_EQ(back->gauges.at("test_obs.gauge_c"), 1.25);
 }
 
 TEST(TracerTest, MaskGatesRecordingPerComponent) {

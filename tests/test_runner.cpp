@@ -155,6 +155,77 @@ TEST(Runner, ProgressReportsEveryTrialExactlyOnce) {
   }
 }
 
+// The ETA-bias fix: a sliding window must track the *recent* completion
+// rate. Simulate a heterogeneous grid — 100 fast trials at 100/s, then slow
+// trials at 10/s. The lifetime mean would predict the remaining 100 slow
+// trials finish 4x too soon; the window converges on the true rate.
+TEST(ProgressWindow, TracksRecentRateNotLifetimeMean) {
+  ProgressWindow w(8);
+  w.sample(0.0, 0);
+  w.sample(1.0, 100);  // fast phase: 100 trials/s
+  // Slow phase: 10 trials/s for 10 samples — enough to fill the window.
+  for (int i = 1; i <= 10; ++i) {
+    w.sample(1.0 + i, 100 + static_cast<std::size_t>(10 * i));
+  }
+  EXPECT_NEAR(w.rate(), 10.0, 1e-9);
+  // 200 done, 300 to go at 10/s -> 30 s. Lifetime mean (200/11 ~ 18.2/s)
+  // would claim ~16.5 s.
+  EXPECT_NEAR(w.eta_seconds(200, 500), 30.0, 1e-6);
+}
+
+TEST(ProgressWindow, FallsBackToLifetimeMeanWhenSparse) {
+  ProgressWindow w;
+  EXPECT_EQ(w.rate(), 0.0);
+  EXPECT_EQ(w.eta_seconds(0, 10), 0.0);  // unknowable, not negative/inf
+  w.sample(2.0, 10);
+  EXPECT_NEAR(w.rate(), 5.0, 1e-12);  // single sample: lifetime mean
+  EXPECT_NEAR(w.eta_seconds(10, 20), 2.0, 1e-9);
+  EXPECT_EQ(w.eta_seconds(20, 20), 0.0);  // done
+}
+
+// Rate-limited progress: intermediate reports may be dropped, but exactly
+// one final done == total report always arrives, and none after it.
+TEST(Runner, RateLimitedProgressStillDeliversExactlyOneFinal) {
+  std::vector<TrialConfig> cfgs;
+  for (std::uint64_t s = 600; s < 612; ++s) cfgs.push_back(quick_config(s));
+
+  std::vector<Progress> seen;
+  RunOptions opts;
+  opts.jobs = 3;
+  // An interval far longer than the sweep: every intermediate report is
+  // rate-limited away; only the guaranteed final survives.
+  opts.progress_min_interval_seconds = 3600.0;
+  opts.on_progress = [&seen](const Progress& p) { seen.push_back(p); };
+  run_trials(cfgs, opts);
+
+  std::size_t finals = 0;
+  for (const Progress& p : seen) {
+    if (p.done == p.total) ++finals;
+  }
+  EXPECT_EQ(finals, 1u);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.back().done, cfgs.size());  // final is last
+  EXPECT_EQ(seen.back().eta_seconds, 0.0);
+  // The long interval drops the other 11 reports (the very first may slip
+  // through before the timestamp is primed).
+  EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(Runner, UnlimitedProgressKeepsPerTrialReports) {
+  std::vector<TrialConfig> cfgs;
+  for (std::uint64_t s = 620; s < 625; ++s) cfgs.push_back(quick_config(s));
+  std::size_t reports = 0, finals = 0;
+  RunOptions opts;
+  opts.jobs = 1;
+  opts.on_progress = [&](const Progress& p) {
+    ++reports;
+    if (p.done == p.total) ++finals;
+  };
+  run_trials(cfgs, opts);
+  EXPECT_EQ(reports, cfgs.size());
+  EXPECT_EQ(finals, 1u);
+}
+
 TEST(Runner, ContextInspectorSeesTrialPrivateMetricsAndTraces) {
   std::vector<TrialConfig> cfgs = {quick_config(800), quick_config(801)};
 
